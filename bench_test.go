@@ -1,0 +1,331 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// artifact) plus ablations over the heuristic's design choices and
+// micro-benchmarks of the evaluation inner loop.
+//
+// Figure benches run the full experiment pipeline at the Tiny preset —
+// real topologies and workloads with reduced search budgets — and report
+// the headline metric (peak RL, etc.) via b.ReportMetric. Regenerate
+// publication-scale results with: go run ./cmd/dtrexp -run all -preset small
+package dualtopo_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualtopo"
+)
+
+// benchExperiment runs one registered experiment per iteration and reports
+// the peak L-cost ratio (or first table row count) as a metric.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	preset := dualtopo.TinyPreset()
+	var peakRL float64
+	for i := 0; i < b.N; i++ {
+		rep, err := dualtopo.RunExperiment(id, preset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peakRL = 0
+		for _, s := range rep.Series {
+			if s.Name == "L-cost ratio" || s.Name[:1] == "k" || s.Name[:1] == "f" ||
+				s.Name == "Uniform" || s.Name == "Local" {
+				for _, y := range s.Y {
+					if y > peakRL {
+						peakRL = y
+					}
+				}
+			}
+		}
+	}
+	if peakRL > 0 {
+		b.ReportMetric(peakRL, "peakRL")
+	}
+}
+
+// Fig. 2: cost ratios across topologies and cost functions.
+func BenchmarkFig2RandomLoad(b *testing.B) { benchExperiment(b, "fig2a") }
+func BenchmarkFig2PowerLoad(b *testing.B)  { benchExperiment(b, "fig2b") }
+func BenchmarkFig2ISPLoad(b *testing.B)    { benchExperiment(b, "fig2c") }
+func BenchmarkFig2RandomSLA(b *testing.B)  { benchExperiment(b, "fig2d") }
+func BenchmarkFig2PowerSLA(b *testing.B)   { benchExperiment(b, "fig2e") }
+func BenchmarkFig2ISPSLA(b *testing.B)     { benchExperiment(b, "fig2f") }
+
+// Fig. 1 / §3.3.1 joint-cost example.
+func BenchmarkFig1Triangle(b *testing.B) { benchExperiment(b, "fig1") }
+
+// Fig. 3: link-utilization histograms.
+func BenchmarkFig3Histograms(b *testing.B) {
+	for _, id := range []string{"fig3a", "fig3b", "fig3c"} {
+		b.Run(id, func(b *testing.B) { benchExperiment(b, id) })
+	}
+}
+
+// Fig. 4: high-priority volume fraction.
+func BenchmarkFig4TrafficFraction(b *testing.B) { benchExperiment(b, "fig4") }
+
+// Fig. 5: SD-pair density under both cost functions.
+func BenchmarkFig5Density(b *testing.B) {
+	for _, id := range []string{"fig5a", "fig5b"} {
+		b.Run(id, func(b *testing.B) { benchExperiment(b, id) })
+	}
+}
+
+// Fig. 6: sorted H-utilization under STR.
+func BenchmarkFig6HUtilization(b *testing.B) { benchExperiment(b, "fig6") }
+
+// Fig. 7: load vs propagation delay.
+func BenchmarkFig7DelayLoad(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Fig. 8: sink traffic patterns.
+func BenchmarkFig8SinkPattern(b *testing.B) {
+	for _, id := range []string{"fig8a", "fig8b"} {
+		b.Run(id, func(b *testing.B) { benchExperiment(b, id) })
+	}
+}
+
+// Fig. 9: SLA-bound relaxation.
+func BenchmarkFig9SLARelaxation(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Table 1: ε-relaxed STR vs DTR.
+func BenchmarkTable1Relaxation(b *testing.B) { benchExperiment(b, "table1") }
+
+// Extension: single-link-failure robustness.
+func BenchmarkExtFailureRobustness(b *testing.B) { benchExperiment(b, "extfail") }
+
+// benchInstance builds the standard 30-node random instance.
+func benchInstance(b *testing.B, kind dualtopo.ObjectiveKind) *dualtopo.Evaluator {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(7, 7))
+	g, err := dualtopo.RandomTopology(30, 75, dualtopo.DefaultCapacity, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dualtopo.AssignUniformDelays(g, 1.2, 15, rng)
+	tl := dualtopo.GravityMatrix(30, rng)
+	th, err := dualtopo.RandomHighPriorityMatrix(30, 0.1, 0.3, tl.Total(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := dualtopo.DefaultOptions()
+	opts.Kind = kind
+	ev, err := dualtopo.NewEvaluator(g, th, tl, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+// Ablation: heavy-tail rank-selection exponent τ of Algorithm 2. τ=0 picks
+// links uniformly; τ→∞ always attacks the extreme-cost links; the paper
+// argues τ=1.5 balances the two.
+func BenchmarkAblationTau(b *testing.B) {
+	for _, tau := range []float64{0, 1.5, 5} {
+		b.Run(tauName(tau), func(b *testing.B) {
+			ev := benchInstance(b, dualtopo.LoadBased)
+			var phiL float64
+			for i := 0; i < b.N; i++ {
+				p := dualtopo.DTRDefaults()
+				p.N, p.K, p.M, p.Workers = 300, 200, 80, 1
+				p.Tau = tau
+				res, err := dualtopo.OptimizeDTR(ev, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phiL = res.Result.PhiL
+			}
+			b.ReportMetric(phiL, "PhiL")
+		})
+	}
+}
+
+func tauName(tau float64) string {
+	switch tau {
+	case 0:
+		return "tau=0(uniform)"
+	case 1.5:
+		return "tau=1.5(paper)"
+	default:
+		return "tau=5(greedy)"
+	}
+}
+
+// Ablation: neighborhood size m of Algorithm 2 (paper: m=5).
+func BenchmarkAblationNeighbors(b *testing.B) {
+	for _, m := range []int{1, 5, 10} {
+		b.Run(mName(m), func(b *testing.B) {
+			ev := benchInstance(b, dualtopo.LoadBased)
+			var phiL float64
+			for i := 0; i < b.N; i++ {
+				p := dualtopo.DTRDefaults()
+				p.N, p.K, p.M, p.Workers = 300, 200, 80, 1
+				p.Neighbors = m
+				res, err := dualtopo.OptimizeDTR(ev, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phiL = res.Result.PhiL
+			}
+			b.ReportMetric(phiL, "PhiL")
+		})
+	}
+}
+
+func mName(m int) string {
+	switch m {
+	case 1:
+		return "m=1"
+	case 5:
+		return "m=5(paper)"
+	default:
+		return "m=10"
+	}
+}
+
+// Ablation: Algorithm 1's third routine (joint refinement). K=0 disables it.
+func BenchmarkAblationRefinement(b *testing.B) {
+	for _, k := range []int{0, 400} {
+		name := "with-refinement"
+		if k == 0 {
+			name = "no-refinement"
+		}
+		b.Run(name, func(b *testing.B) {
+			ev := benchInstance(b, dualtopo.LoadBased)
+			var phiL float64
+			for i := 0; i < b.N; i++ {
+				p := dualtopo.DTRDefaults()
+				p.N, p.K, p.M, p.Workers = 300, k, 80, 1
+				res, err := dualtopo.OptimizeDTR(ev, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phiL = res.Result.PhiL
+			}
+			b.ReportMetric(phiL, "PhiL")
+		})
+	}
+}
+
+// Ablation: Eq. (3)'s ΦH,l/Cl approximation vs the exact M/M/1 delay term.
+func BenchmarkAblationDelayModel(b *testing.B) {
+	for _, exact := range []bool{false, true} {
+		name := "phi-approx(paper)"
+		if exact {
+			name = "exact-mm1"
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(7, 7))
+			g, _ := dualtopo.RandomTopology(30, 75, dualtopo.DefaultCapacity, rng)
+			dualtopo.AssignUniformDelays(g, 1.2, 15, rng)
+			tl := dualtopo.GravityMatrix(30, rng)
+			th, _ := dualtopo.RandomHighPriorityMatrix(30, 0.1, 0.3, tl.Total(), rng)
+			opts := dualtopo.Options{Kind: dualtopo.SLABased, SLA: dualtopo.DefaultSLA(), ExactDelay: exact}
+			ev, err := dualtopo.NewEvaluator(g, th, tl, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var lambda float64
+			for i := 0; i < b.N; i++ {
+				p := dualtopo.DTRDefaults()
+				p.N, p.K, p.M, p.Workers = 200, 100, 60, 1
+				res, err := dualtopo.OptimizeDTR(ev, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lambda = res.Result.Lambda
+			}
+			b.ReportMetric(lambda, "Lambda")
+		})
+	}
+}
+
+// Micro-benchmarks of the evaluation inner loop.
+
+func BenchmarkEvaluateSTR(b *testing.B) {
+	ev := benchInstance(b, dualtopo.LoadBased)
+	w := dualtopo.UniformWeights(150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvaluateSTR(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateDTR(b *testing.B) {
+	ev := benchInstance(b, dualtopo.LoadBased)
+	w := dualtopo.UniformWeights(150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvaluateDTR(w, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObjectiveSTRFastPath(b *testing.B) {
+	ev := benchInstance(b, dualtopo.LoadBased)
+	w := dualtopo.UniformWeights(150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ObjectiveSTR(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObjectiveSTRSLA(b *testing.B) {
+	ev := benchInstance(b, dualtopo.SLABased)
+	w := dualtopo.UniformWeights(150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.ObjectiveSTR(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteLoads(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	g, err := dualtopo.RandomTopology(30, 75, dualtopo.DefaultCapacity, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm := dualtopo.GravityMatrix(30, rng)
+	plan := dualtopo.NewRoutingPlan(g, tm)
+	w := dualtopo.UniformWeights(g.NumEdges())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := plan.Route(w, tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOSPFConvergence(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	g, err := dualtopo.RandomTopology(30, 75, dualtopo.DefaultCapacity, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := dualtopo.UniformWeights(g.NumEdges())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dualtopo.BuildOSPFNetwork(g, w, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueueSimulation(b *testing.B) {
+	cfg := dualtopo.QueueConfig{
+		ArrivalH: 0.25, ArrivalL: 0.35, ServiceRate: 1,
+		Discipline: dualtopo.PreemptiveResume, Packets: 50000, Warmup: 1000, Seed: 5,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := dualtopo.SimulateQueue(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command dtrexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dtrexp -list
+//	dtrexp -run fig2a -preset small
+//	dtrexp -run all -preset tiny -o results/
+//
+// Each experiment prints a text report (series tables and/or tables); with
+// -o, reports are additionally written one file per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dualtopo/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtrexp: ")
+	var (
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		run    = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+		preset = flag.String("preset", "small", "search budget preset: tiny|small|paper")
+		outDir = flag.String("o", "", "directory to write per-experiment report files")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			r, _ := experiments.Lookup(id)
+			fmt.Printf("%-8s %s\n", id, r.Title)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p, err := experiments.PresetByName(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := experiments.Run(id, p)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		out := rep.String()
+		fmt.Println(out)
+		fmt.Printf("(%s finished in %s under preset %q)\n\n", id, time.Since(start).Round(time.Millisecond), p.Name)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				log.Fatalf("%s: write %s: %v", id, path, err)
+			}
+		}
+	}
+}

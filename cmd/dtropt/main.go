@@ -1,0 +1,166 @@
+// Command dtropt computes optimized link weights for a topology and traffic
+// demand: the STR baseline (one weight set) and the paper's DTR heuristic
+// (two weight sets), printing per-class costs and the resulting weights.
+//
+// Usage:
+//
+//	dtropt -topo random -nodes 30 -links 75 -util 0.6 -kind load
+//	dtropt -topo isp -kind sla -theta 25 -json weights.json
+//
+// With -graph FILE, a JSON topology (see cmd/topogen) replaces the generated
+// one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"dualtopo"
+	"dualtopo/internal/eval"
+	"dualtopo/internal/experiments"
+	"dualtopo/internal/graph"
+	"dualtopo/internal/search"
+	"dualtopo/internal/spf"
+	"dualtopo/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtropt: ")
+	var (
+		topoName  = flag.String("topo", "random", "topology: random|powerlaw|isp")
+		graphFile = flag.String("graph", "", "JSON topology file (overrides -topo)")
+		nodes     = flag.Int("nodes", 30, "node count (generated topologies)")
+		links     = flag.Int("links", 0, "bidirectional link count (0 = paper default)")
+		kind      = flag.String("kind", "load", "objective: load|sla")
+		theta     = flag.Float64("theta", 25, "SLA delay bound in ms")
+		f         = flag.Float64("f", 0.30, "high-priority volume fraction")
+		k         = flag.Float64("k", 0.10, "high-priority SD-pair density")
+		util      = flag.Float64("util", 0.6, "target average link utilization")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		budget    = flag.String("budget", "small", "search budget preset: tiny|small|paper")
+		jsonOut   = flag.String("json", "", "write weights and costs as JSON to this file")
+	)
+	flag.Parse()
+
+	preset, err := experiments.PresetByName(*budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var inst *experiments.Instance
+	if *graphFile != "" {
+		inst, err = instanceFromFile(*graphFile, *kind, *theta, *f, *k, *util, *seed)
+	} else {
+		spec := experiments.InstanceSpec{
+			Topology: *topoName, Nodes: *nodes, Links: *links,
+			Kind: parseKind(*kind), ThetaMs: *theta,
+			F: *f, K: *k, TargetUtil: *util, Seed: *seed,
+		}
+		inst, err = spec.Build()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := inst.Evaluator()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	strParams := preset.STR
+	strParams.Seed = *seed
+	str, err := search.STR(ev, strParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dtrParams := preset.DTR
+	dtrParams.Seed = *seed + 1
+	dtr, err := search.DTRFrom(ev, str.W, str.W, dtrParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instance: %d nodes, %d arcs, objective=%s, target util=%.2f\n",
+		inst.G.NumNodes(), inst.G.NumEdges(), *kind, *util)
+	fmt.Printf("%-6s  PhiH=%-12.4g PhiL=%-12.4g Lambda=%-10.4g violations=%d\n",
+		"STR", str.Result.PhiH, str.Result.PhiL, str.Result.Lambda, str.Result.Violations)
+	fmt.Printf("%-6s  PhiH=%-12.4g PhiL=%-12.4g Lambda=%-10.4g violations=%d\n",
+		"DTR", dtr.Result.PhiH, dtr.Result.PhiL, dtr.Result.Lambda, dtr.Result.Violations)
+	rl := str.Result.PhiL / dtr.Result.PhiL
+	fmt.Printf("L-cost ratio RL = %.2f (DTR evaluations: %d, STR evaluations: %d)\n",
+		rl, dtr.Evaluations, str.Evaluations)
+
+	if *jsonOut != "" {
+		out := struct {
+			STRWeights spf.Weights `json:"str_weights"`
+			WH         spf.Weights `json:"dtr_high_weights"`
+			WL         spf.Weights `json:"dtr_low_weights"`
+			STRPhiH    float64     `json:"str_phi_h"`
+			STRPhiL    float64     `json:"str_phi_l"`
+			DTRPhiH    float64     `json:"dtr_phi_h"`
+			DTRPhiL    float64     `json:"dtr_phi_l"`
+		}{str.W, dtr.WH, dtr.WL, str.Result.PhiH, str.Result.PhiL, dtr.Result.PhiH, dtr.Result.PhiL}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("weights written to %s\n", *jsonOut)
+	}
+}
+
+func parseKind(s string) eval.Kind {
+	if s == "sla" {
+		return eval.SLABased
+	}
+	return eval.LoadBased
+}
+
+// instanceFromFile loads a JSON topology and synthesizes traffic for it with
+// the same models the generated instances use.
+func instanceFromFile(path, kind string, theta, f, k, util float64, seed uint64) (*experiments.Instance, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	g, err := graph.Read(file)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RequireStronglyConnected(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xf11e))
+	tl := traffic.Gravity(g.NumNodes(), rng)
+	th, err := traffic.RandomHighPriority(g.NumNodes(), k, f, tl.Total(), rng)
+	if err != nil {
+		return nil, err
+	}
+	// Scale to the target utilization under unit-weight routing.
+	loads, err := spf.Loads(g, spf.Uniform(g.NumEdges()), tl)
+	if err != nil {
+		return nil, err
+	}
+	hLoads, err := spf.Loads(g, spf.Uniform(g.NumEdges()), th)
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for i := range loads {
+		sum += (loads[i] + hLoads[i]) / g.Edge(graph.EdgeID(i)).Capacity
+	}
+	avg := sum / float64(g.NumEdges())
+	th.Scale(util / avg)
+	tl.Scale(util / avg)
+
+	opts := eval.Options{Kind: parseKind(kind), SLA: dualtopo.DefaultSLA()}
+	opts.SLA.ThetaMs = theta
+	return &experiments.Instance{G: g, TH: th, TL: tl, Opts: opts}, nil
+}

@@ -1,0 +1,70 @@
+// Command topogen generates the paper's topologies as JSON files consumable
+// by cmd/dtropt and downstream tools.
+//
+// Usage:
+//
+//	topogen -topo random -nodes 30 -links 75 -o random30.json
+//	topogen -topo powerlaw -nodes 30 -links 81 -o power30.json
+//	topogen -topo isp -o isp.json
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"dualtopo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topogen: ")
+	var (
+		topoName = flag.String("topo", "random", "topology: random|powerlaw|isp")
+		nodes    = flag.Int("nodes", 30, "node count")
+		links    = flag.Int("links", 75, "bidirectional link count")
+		capacity = flag.Float64("capacity", dualtopo.DefaultCapacity, "per-arc capacity (Mbps)")
+		minDelay = flag.Float64("min-delay", 1.2, "min propagation delay (ms, synthetic topologies)")
+		maxDelay = flag.Float64("max-delay", 15, "max propagation delay (ms, synthetic topologies)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewPCG(*seed, 0x7090))
+	var g *dualtopo.Graph
+	var err error
+	switch *topoName {
+	case "random":
+		g, err = dualtopo.RandomTopology(*nodes, *links, *capacity, rng)
+		if err == nil {
+			dualtopo.AssignUniformDelays(g, *minDelay, *maxDelay, rng)
+		}
+	case "powerlaw":
+		g, err = dualtopo.PowerLawTopology(*nodes, *links, *capacity, rng)
+		if err == nil {
+			dualtopo.AssignUniformDelays(g, *minDelay, *maxDelay, rng)
+		}
+	case "isp":
+		g = dualtopo.ISPBackbone(*capacity)
+	default:
+		log.Fatalf("unknown topology %q (random|powerlaw|isp)", *topoName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := g.Write(w); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package dualtopo_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dualtopo"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start flow: generate
+// an instance, optimize STR and DTR, deploy the DTR weights on the OSPF
+// control plane, and forward a packet per class.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	g, err := dualtopo.RandomTopology(15, 35, dualtopo.DefaultCapacity, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dualtopo.AssignUniformDelays(g, 1.2, 15, rng)
+	tl := dualtopo.GravityMatrix(15, rng)
+	th, err := dualtopo.RandomHighPriorityMatrix(15, 0.1, 0.3, tl.Total(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := dualtopo.NewEvaluator(g, th, tl, dualtopo.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strParams := dualtopo.STRDefaults()
+	strParams.Iterations, strParams.Candidates, strParams.Workers = 200, 4, 1
+	str, err := dualtopo.OptimizeSTR(ev, strParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtrParams := dualtopo.DTRDefaults()
+	dtrParams.N, dtrParams.K, dtrParams.M, dtrParams.Workers = 100, 60, 30, 1
+	dtr, err := dualtopo.OptimizeDTRFrom(ev, str.W, str.W, dtrParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-started DTR can never be lexicographically worse than STR.
+	if str.Best.Less(dtr.Best) {
+		t.Fatalf("DTR %+v worse than its STR warm start %+v", dtr.Best, str.Best)
+	}
+
+	net, err := dualtopo.BuildOSPFNetwork(g, dtr.WH, dtr.WL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []dualtopo.TopologyID{dualtopo.TopoHigh, dualtopo.TopoLow} {
+		path, err := net.Forward(dualtopo.Packet{Src: 0, Dst: 7, Class: class, FlowHash: 9})
+		if err != nil {
+			t.Fatalf("class %d: %v", class, err)
+		}
+		if path[0] != 0 || path[len(path)-1] != 7 {
+			t.Fatalf("class %d path endpoints: %v", class, path)
+		}
+	}
+}
+
+func TestFortzThorupCostFacade(t *testing.T) {
+	if got := dualtopo.FortzThorupCost(1.0/3, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("Phi(1/3,1) = %v", got)
+	}
+}
+
+func TestQueueFacade(t *testing.T) {
+	res, err := dualtopo.SimulateQueue(dualtopo.QueueConfig{
+		ArrivalH: 0.2, ArrivalL: 0.3, ServiceRate: 1,
+		Discipline: dualtopo.PreemptiveResume, Packets: 20000, Warmup: 500, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.H.MeanSojourn <= 0 || res.L.MeanSojourn <= res.H.MeanSojourn {
+		t.Fatalf("implausible sojourns: H=%v L=%v", res.H.MeanSojourn, res.L.MeanSojourn)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := dualtopo.ExperimentIDs()
+	if len(ids) != 20 {
+		t.Fatalf("experiments = %d, want 20 (19 paper artifacts + extfail)", len(ids))
+	}
+	rep, err := dualtopo.RunExperiment("fig1", dualtopo.TinyPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig1" {
+		t.Fatalf("report id = %q", rep.ID)
+	}
+}
+
+func TestPresetFacades(t *testing.T) {
+	if dualtopo.TinyPreset().Name != "tiny" ||
+		dualtopo.SmallPreset().Name != "small" ||
+		dualtopo.PaperPreset().Name != "paper" {
+		t.Fatal("preset names wrong")
+	}
+	// The paper preset must carry the publication budgets.
+	if p := dualtopo.PaperPreset(); p.DTR.N != 300000 || p.DTR.K != 800000 {
+		t.Fatalf("paper preset budgets = N=%d K=%d", p.DTR.N, p.DTR.K)
+	}
+}

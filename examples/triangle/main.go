@@ -1,0 +1,75 @@
+// Triangle walks through the paper's §3.3.1 example: on a 3-node network, a
+// joint cost function J = α·ΦH + ΦL cannot be tuned safely — α=35 starves
+// the low-priority class while α=30 causes a priority inversion — whereas
+// dual-topology routing with a lexicographic objective gets the best of
+// both. All numbers are exact rationals from the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualtopo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Nodes: A=0, B=1, C=2; unit-capacity links A-B, B-C, A-C.
+	g := dualtopo.NewGraph(3)
+	g.SetName(0, "A")
+	g.SetName(1, "B")
+	g.SetName(2, "C")
+	g.AddLink(0, 1, 1, 1)
+	g.AddLink(1, 2, 1, 1)
+	g.AddLink(0, 2, 1, 1)
+
+	th := dualtopo.NewTrafficMatrix(3)
+	th.Set(0, 2, 1.0/3) // 1/3 unit of high-priority A->C
+	tl := dualtopo.NewTrafficMatrix(3)
+	tl.Set(0, 2, 2.0/3) // 2/3 unit of low-priority A->C
+
+	ev, err := dualtopo.NewEvaluator(g, th, tl, dualtopo.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate STR routings from the paper.
+	direct, err := ev.EvaluateSTR(dualtopo.UniformWeights(g.NumEdges()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wSplit := dualtopo.UniformWeights(g.NumEdges())
+	ac, _ := g.ArcBetween(0, 2)
+	wSplit[ac] = 2 // equal-cost paths A-C and A-B-C: even ECMP split
+	split, err := ev.EvaluateSTR(wSplit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("STR routings for 1/3 high + 2/3 low priority units A->C:")
+	fmt.Printf("  direct on A-C:  PhiH = %.4f (1/3),  PhiL = %.4f (64/9)\n", direct.PhiH, direct.PhiL)
+	fmt.Printf("  even split:     PhiH = %.4f (1/2),  PhiL = %.4f (4/3)\n", split.PhiH, split.PhiL)
+
+	fmt.Println("\nJoint cost J = alpha*PhiH + PhiL:")
+	for _, alpha := range []float64{35, 30} {
+		jd := alpha*direct.PhiH + direct.PhiL
+		js := alpha*split.PhiH + split.PhiL
+		pick := "direct"
+		if js < jd {
+			pick = "split (priority inversion: PhiH degrades 50%)"
+		}
+		fmt.Printf("  alpha=%2.0f: J(direct)=%6.3f  J(split)=%6.3f  -> %s\n", alpha, jd, js, pick)
+	}
+
+	// DTR needs no alpha: optimize lexicographically with two topologies.
+	p := dualtopo.DTRDefaults()
+	p.N, p.K, p.M = 200, 200, 50
+	dtr, err := dualtopo.OptimizeDTR(ev, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDTR lexicographic optimum: PhiH = %.4f (1/3), PhiL = %.4f (11/9)\n",
+		dtr.Result.PhiH, dtr.Result.PhiL)
+	fmt.Println("High priority keeps its best cost; low priority improves 5.8x over STR.")
+}

@@ -1,0 +1,450 @@
+// Package eval computes the paper's objectives for a candidate routing: it
+// routes the high-priority matrix, derives residual capacities under strict
+// priority queueing (§3), routes the low-priority matrix, and produces the
+// solution-level lexicographic cost plus the per-arc metrics the search
+// heuristics sort on.
+//
+// Three evaluation modes mirror how the searches use it:
+//
+//   - EvaluateSTR: both classes follow one weight setting (one SPF pass).
+//   - EvaluateDTR: each class follows its own weight setting.
+//   - ObjectiveH / ObjectiveL: fast partial re-evaluations for the FindH and
+//     FindL inner loops, which change only one class's weights at a time.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"dualtopo/internal/cost"
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+	"dualtopo/internal/traffic"
+)
+
+// Kind selects the objective family of §3.
+type Kind int
+
+const (
+	// LoadBased optimizes A = ⟨ΦH, ΦL⟩ (Eq. 2).
+	LoadBased Kind = iota
+	// SLABased optimizes S = ⟨Λ, ΦL⟩ (Eq. 5).
+	SLABased
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LoadBased:
+		return "load"
+	case SLABased:
+		return "sla"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Options configures an Evaluator.
+type Options struct {
+	Kind Kind
+	// SLA parameters; only consulted when Kind == SLABased.
+	SLA cost.SLA
+	// ExactDelay switches Eq. (3) from the paper's ΦH,l/Cl approximation to
+	// the exact M/M/1 term Hl/(Cl−Hl). Default false (paper's choice).
+	ExactDelay bool
+}
+
+// DefaultOptions returns load-based evaluation.
+func DefaultOptions() Options { return Options{Kind: LoadBased, SLA: cost.DefaultSLA()} }
+
+// Result holds every metric of one evaluated routing. Slices are owned by
+// the Result and remain valid indefinitely.
+type Result struct {
+	// PhiH and PhiL are the load-based class costs (Eq. 1 summed over arcs);
+	// PhiL is charged against residual capacity.
+	PhiH, PhiL float64
+	// Lambda is the total SLA penalty (Eq. 4); zero for load-based runs.
+	Lambda float64
+	// Violations counts high-priority pairs exceeding the SLA bound.
+	Violations int
+
+	// Per-arc metrics, indexed by EdgeID.
+	HLoads, LLoads     []float64
+	Residual           []float64
+	LinkPhiH, LinkPhiL []float64
+	LinkDelay          []float64 // Eq. 3 per-arc delay; SLA runs only
+
+	// PairDelays lists the expected end-to-end delay of every high-priority
+	// demand, parallel to Evaluator.HighPriorityPairs(); SLA runs only.
+	PairDelays []float64
+
+	kind Kind
+}
+
+// Objective returns the solution-level lexicographic cost: ⟨ΦH, ΦL⟩ for
+// load-based evaluation, ⟨Λ, ΦL⟩ for SLA-based.
+func (r *Result) Objective() cost.Lex {
+	if r.kind == SLABased {
+		return cost.Lex{Primary: r.Lambda, Secondary: r.PhiL}
+	}
+	return cost.Lex{Primary: r.PhiH, Secondary: r.PhiL}
+}
+
+// LinkCost returns the per-arc lexicographic cost FindH sorts on: ⟨ΦH,l,
+// ΦL,l⟩ for load-based runs, ⟨Dl, ΦL,l⟩ for SLA-based (§4).
+func (r *Result) LinkCost(id graph.EdgeID) cost.Lex {
+	if r.kind == SLABased {
+		return cost.Lex{Primary: r.LinkDelay[id], Secondary: r.LinkPhiL[id]}
+	}
+	return cost.Lex{Primary: r.LinkPhiH[id], Secondary: r.LinkPhiL[id]}
+}
+
+// Utilization returns per-arc total utilization (H+L)/C.
+func (r *Result) Utilization(g *graph.Graph) []float64 {
+	u := make([]float64, len(r.HLoads))
+	for i := range u {
+		u[i] = (r.HLoads[i] + r.LLoads[i]) / g.Edge(graph.EdgeID(i)).Capacity
+	}
+	return u
+}
+
+// HUtilization returns per-arc high-priority utilization H/C.
+func (r *Result) HUtilization(g *graph.Graph) []float64 {
+	u := make([]float64, len(r.HLoads))
+	for i := range u {
+		u[i] = r.HLoads[i] / g.Edge(graph.EdgeID(i)).Capacity
+	}
+	return u
+}
+
+// AvgUtilization is the mean of Utilization — the paper's network-load
+// x-axis ("AD").
+func (r *Result) AvgUtilization(g *graph.Graph) float64 {
+	u := r.Utilization(g)
+	sum := 0.0
+	for _, x := range u {
+		sum += x
+	}
+	return sum / float64(len(u))
+}
+
+// MaxUtilization is the maximum of Utilization (Fig. 9c).
+func (r *Result) MaxUtilization(g *graph.Graph) float64 {
+	max := 0.0
+	for i, h := range r.HLoads {
+		if u := (h + r.LLoads[i]) / g.Edge(graph.EdgeID(i)).Capacity; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// Pair identifies one high-priority source-destination demand.
+type Pair struct {
+	Src, Dst graph.NodeID
+}
+
+// Evaluator evaluates weight settings for one (graph, TH, TL, options)
+// problem instance. It is not safe for concurrent use; use Clone to give
+// each goroutine its own.
+type Evaluator struct {
+	g    *graph.Graph
+	th   *traffic.Matrix
+	tl   *traffic.Matrix
+	opts Options
+
+	planH   *spf.Plan      // routes TH (DTR high topology)
+	planL   *spf.Plan      // routes TL (DTR low topology)
+	planSTR *spf.MultiPlan // routes both under one weight set
+
+	capacity  []float64
+	propDelay []float64
+
+	hpDests []graph.NodeID // destinations receiving high-priority traffic
+	hpSrcs  [][]graph.NodeID
+	pairs   []Pair
+
+	// scratch buffers for the fast Objective* paths
+	scratchResidual []float64
+	scratchDelay    []float64
+}
+
+// treeSource is any routed plan that can hand back per-destination trees.
+type treeSource interface {
+	Tree(graph.NodeID) *spf.Tree
+	DelaysTo(graph.NodeID, []float64) []float64
+}
+
+// New builds an Evaluator. The graph must be strongly connected and the
+// matrices sized to it.
+func New(g *graph.Graph, th, tl *traffic.Matrix, opts Options) (*Evaluator, error) {
+	if th.Size() != g.NumNodes() || tl.Size() != g.NumNodes() {
+		return nil, fmt.Errorf("eval: matrix size (%d,%d) does not match graph (%d nodes)",
+			th.Size(), tl.Size(), g.NumNodes())
+	}
+	if err := g.RequireStronglyConnected(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		g:    g,
+		th:   th,
+		tl:   tl,
+		opts: opts,
+
+		planH:   spf.NewPlan(g, th),
+		planL:   spf.NewPlan(g, tl),
+		planSTR: spf.NewMultiPlan(g, th, tl),
+
+		capacity:  make([]float64, g.NumEdges()),
+		propDelay: make([]float64, g.NumEdges()),
+
+		scratchResidual: make([]float64, g.NumEdges()),
+		scratchDelay:    make([]float64, g.NumEdges()),
+	}
+	for _, edge := range g.Edges() {
+		e.capacity[edge.ID] = edge.Capacity
+		e.propDelay[edge.ID] = edge.Delay
+	}
+	e.hpDests = th.ActiveDestinations()
+	e.hpSrcs = make([][]graph.NodeID, len(e.hpDests))
+	for i, d := range e.hpDests {
+		for s := 0; s < g.NumNodes(); s++ {
+			if th.At(graph.NodeID(s), d) > 0 {
+				e.hpSrcs[i] = append(e.hpSrcs[i], graph.NodeID(s))
+				e.pairs = append(e.pairs, Pair{graph.NodeID(s), d})
+			}
+		}
+	}
+	return e, nil
+}
+
+// Clone returns an independent Evaluator sharing the immutable problem
+// instance (graph and matrices) but no mutable state.
+func (e *Evaluator) Clone() *Evaluator {
+	c, err := New(e.g, e.th, e.tl, e.opts)
+	if err != nil {
+		// New succeeded once with identical inputs; it cannot fail now.
+		panic(fmt.Sprintf("eval: Clone: %v", err))
+	}
+	return c
+}
+
+// Graph returns the underlying graph.
+func (e *Evaluator) Graph() *graph.Graph { return e.g }
+
+// Options returns the evaluation options.
+func (e *Evaluator) Options() Options { return e.opts }
+
+// Matrices returns the high- and low-priority traffic matrices.
+func (e *Evaluator) Matrices() (th, tl *traffic.Matrix) { return e.th, e.tl }
+
+// HighPriorityPairs lists the SD pairs carrying high-priority traffic, in
+// the order Result.PairDelays uses.
+func (e *Evaluator) HighPriorityPairs() []Pair { return e.pairs }
+
+// EvaluateSTR evaluates single-topology routing: both classes routed on w.
+func (e *Evaluator) EvaluateSTR(w spf.Weights) (*Result, error) {
+	if err := e.planSTR.Route(w, e.th, e.tl); err != nil {
+		return nil, err
+	}
+	return e.finish(e.planSTR.Loads[0], e.planSTR.Loads[1], e.planSTR)
+}
+
+// EvaluateDTR evaluates dual-topology routing: the high-priority class
+// follows wH, the low-priority class follows wL.
+func (e *Evaluator) EvaluateDTR(wH, wL spf.Weights) (*Result, error) {
+	if err := e.planH.Route(wH, e.th); err != nil {
+		return nil, err
+	}
+	if err := e.planL.Route(wL, e.tl); err != nil {
+		return nil, err
+	}
+	return e.finish(e.planH.Loads, e.planL.Loads, e.planH)
+}
+
+// finish derives all costs from routed per-arc loads. trees must be the
+// plan that routed the high-priority class (SLA delays follow its DAGs).
+func (e *Evaluator) finish(hLoads, lLoads []float64, trees treeSource) (*Result, error) {
+	n := e.g.NumEdges()
+	r := &Result{
+		HLoads:   append([]float64(nil), hLoads...),
+		LLoads:   append([]float64(nil), lLoads...),
+		Residual: make([]float64, n),
+		LinkPhiH: make([]float64, n),
+		LinkPhiL: make([]float64, n),
+		kind:     e.opts.Kind,
+	}
+	for i := 0; i < n; i++ {
+		r.LinkPhiH[i] = cost.Phi(hLoads[i], e.capacity[i])
+		r.Residual[i] = cost.Residual(e.capacity[i], hLoads[i])
+		r.LinkPhiL[i] = cost.Phi(lLoads[i], r.Residual[i])
+		r.PhiH += r.LinkPhiH[i]
+		r.PhiL += r.LinkPhiL[i]
+	}
+	if e.opts.Kind == SLABased {
+		r.LinkDelay = make([]float64, n)
+		e.fillLinkDelays(hLoads, r.LinkPhiH, r.LinkDelay)
+		r.PairDelays = make([]float64, 0, len(e.pairs))
+		for i, dest := range e.hpDests {
+			xi := trees.DelaysTo(dest, r.LinkDelay)
+			for _, src := range e.hpSrcs[i] {
+				d := xi[src]
+				r.PairDelays = append(r.PairDelays, d)
+				if pen := e.opts.SLA.PairPenalty(d); pen > 0 {
+					r.Lambda += pen
+					r.Violations++
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// fillLinkDelays computes Eq. (3) per-arc delays into out.
+func (e *Evaluator) fillLinkDelays(hLoads, linkPhiH, out []float64) {
+	for i := range out {
+		if e.opts.ExactDelay {
+			out[i] = e.opts.SLA.LinkDelayExact(hLoads[i], e.capacity[i], e.propDelay[i])
+			if math.IsInf(out[i], 1) {
+				// Keep the search objective finite on overloaded links by
+				// falling back to the (always finite) approximation.
+				out[i] = e.opts.SLA.LinkDelayApprox(linkPhiH[i], e.capacity[i], e.propDelay[i])
+			}
+		} else {
+			out[i] = e.opts.SLA.LinkDelayApprox(linkPhiH[i], e.capacity[i], e.propDelay[i])
+		}
+	}
+}
+
+// EvaluateHWithLLoads produces a full Result after a change to the
+// high-priority weights only: the high-priority class is re-routed under wH
+// while the low-priority per-arc loads are taken from lLoads (valid because
+// WL did not change). This is the accept-refresh step of FindH.
+func (e *Evaluator) EvaluateHWithLLoads(wH spf.Weights, lLoads []float64) (*Result, error) {
+	if err := e.planH.Route(wH, e.th); err != nil {
+		return nil, err
+	}
+	return e.finish(e.planH.Loads, lLoads, e.planH)
+}
+
+// EvaluateLWithBase produces a full Result after a change to the
+// low-priority weights only: the low-priority class is re-routed under wL
+// while all high-priority state (loads, residuals, delays, penalties) is
+// carried over from base. This is the accept-refresh step of FindL.
+func (e *Evaluator) EvaluateLWithBase(wL spf.Weights, base *Result) (*Result, error) {
+	if err := e.planL.Route(wL, e.tl); err != nil {
+		return nil, err
+	}
+	n := e.g.NumEdges()
+	r := &Result{
+		PhiH:       base.PhiH,
+		Lambda:     base.Lambda,
+		Violations: base.Violations,
+		HLoads:     append([]float64(nil), base.HLoads...),
+		LLoads:     append([]float64(nil), e.planL.Loads...),
+		Residual:   append([]float64(nil), base.Residual...),
+		LinkPhiH:   append([]float64(nil), base.LinkPhiH...),
+		LinkPhiL:   make([]float64, n),
+		kind:       e.opts.Kind,
+	}
+	if base.LinkDelay != nil {
+		r.LinkDelay = append([]float64(nil), base.LinkDelay...)
+	}
+	if base.PairDelays != nil {
+		r.PairDelays = append([]float64(nil), base.PairDelays...)
+	}
+	for i := 0; i < n; i++ {
+		r.LinkPhiL[i] = cost.Phi(r.LLoads[i], r.Residual[i])
+		r.PhiL += r.LinkPhiL[i]
+	}
+	return r, nil
+}
+
+// STRObjective is the STR-search fast path: both classes routed under w,
+// returning only the solution costs (no per-arc slices are retained).
+type STRObjective struct {
+	Lex        cost.Lex
+	PhiH, PhiL float64
+	Lambda     float64
+	Violations int
+}
+
+// ObjectiveSTR evaluates w for both classes without building a full Result.
+func (e *Evaluator) ObjectiveSTR(w spf.Weights) (STRObjective, error) {
+	if err := e.planSTR.Route(w, e.th, e.tl); err != nil {
+		return STRObjective{}, err
+	}
+	hLoads, lLoads := e.planSTR.Loads[0], e.planSTR.Loads[1]
+	var o STRObjective
+	for i := range hLoads {
+		linkPhiH := cost.Phi(hLoads[i], e.capacity[i])
+		o.PhiH += linkPhiH
+		resid := cost.Residual(e.capacity[i], hLoads[i])
+		o.PhiL += cost.Phi(lLoads[i], resid)
+		if e.opts.Kind == SLABased {
+			e.scratchResidual[i] = linkPhiH
+		}
+	}
+	if e.opts.Kind == SLABased {
+		e.fillLinkDelays(hLoads, e.scratchResidual, e.scratchDelay)
+		for i, dest := range e.hpDests {
+			xi := e.planSTR.DelaysTo(dest, e.scratchDelay)
+			for _, src := range e.hpSrcs[i] {
+				if pen := e.opts.SLA.PairPenalty(xi[src]); pen > 0 {
+					o.Lambda += pen
+					o.Violations++
+				}
+			}
+		}
+		o.Lex = cost.Lex{Primary: o.Lambda, Secondary: o.PhiL}
+	} else {
+		o.Lex = cost.Lex{Primary: o.PhiH, Secondary: o.PhiL}
+	}
+	return o, nil
+}
+
+// ObjectiveH is the FindH fast path: route only the high-priority class
+// under wH and compute the solution objective, reusing the low-priority
+// loads of the incumbent solution (WL unchanged implies L routing
+// unchanged; only the residual capacities move).
+func (e *Evaluator) ObjectiveH(wH spf.Weights, lLoads []float64) (cost.Lex, error) {
+	if err := e.planH.Route(wH, e.th); err != nil {
+		return cost.Lex{}, err
+	}
+	hLoads := e.planH.Loads
+	phiH, phiL := 0.0, 0.0
+	for i := range hLoads {
+		linkPhiH := cost.Phi(hLoads[i], e.capacity[i])
+		phiH += linkPhiH
+		resid := cost.Residual(e.capacity[i], hLoads[i])
+		phiL += cost.Phi(lLoads[i], resid)
+		if e.opts.Kind == SLABased {
+			e.scratchResidual[i] = linkPhiH // stash per-arc ΦH for delays
+		}
+	}
+	if e.opts.Kind != SLABased {
+		return cost.Lex{Primary: phiH, Secondary: phiL}, nil
+	}
+	e.fillLinkDelays(hLoads, e.scratchResidual, e.scratchDelay)
+	lambda := 0.0
+	for i, dest := range e.hpDests {
+		xi := e.planH.DelaysTo(dest, e.scratchDelay)
+		for _, src := range e.hpSrcs[i] {
+			lambda += e.opts.SLA.PairPenalty(xi[src])
+		}
+	}
+	return cost.Lex{Primary: lambda, Secondary: phiL}, nil
+}
+
+// ObjectiveL is the FindL fast path: route only the low-priority class under
+// wL against the residual capacities of the incumbent high-priority routing
+// and return its ΦL. The primary objective is unaffected by WL.
+func (e *Evaluator) ObjectiveL(wL spf.Weights, residual []float64) (float64, error) {
+	if err := e.planL.Route(wL, e.tl); err != nil {
+		return 0, err
+	}
+	phiL := 0.0
+	for i, l := range e.planL.Loads {
+		phiL += cost.Phi(l, residual[i])
+	}
+	return phiL, nil
+}

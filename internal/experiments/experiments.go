@@ -1,0 +1,162 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5). Each experiment is a registered runner that builds the
+// paper's topology/traffic configuration, runs the STR baseline and the DTR
+// heuristic, and reports the same series or rows the paper plots.
+//
+// Search budgets scale with a Preset: Tiny keeps integration tests fast,
+// Small is the default for regenerating results on a laptop, and Paper uses
+// the publication budgets (N=300000, K=800000).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dualtopo/internal/render"
+	"dualtopo/internal/search"
+)
+
+// Preset scales experiment effort.
+type Preset struct {
+	Name string
+	// DTR and STR are the search budgets applied at every sweep point.
+	DTR search.Params
+	STR search.STRParams
+	// Points is the number of network-load points per sweep.
+	Points int
+	// Parallel bounds concurrently executed sweep points.
+	Parallel int
+	// Trials averages each point over this many seeds (≥1).
+	Trials int
+}
+
+// Tiny returns the preset used by integration tests: real topologies, small
+// search budgets, two load points.
+func Tiny() Preset {
+	d := search.Defaults()
+	d.N, d.K, d.M, d.Neighbors, d.Workers = 120, 80, 40, 4, 1
+	s := search.STRDefaults()
+	s.Iterations, s.Candidates, s.M, s.Workers = 300, 4, 60, 1
+	return Preset{Name: "tiny", DTR: d, STR: s, Points: 2, Parallel: 2, Trials: 1}
+}
+
+// Small returns the default preset for regenerating results: a few minutes
+// per figure on commodity hardware.
+func Small() Preset {
+	d := search.Defaults()
+	d.N, d.K, d.M, d.Workers = 2000, 1200, 300, 1
+	s := search.STRDefaults()
+	s.Iterations, s.Candidates, s.M, s.Workers = 6000, 5, 300, 1
+	return Preset{Name: "small", DTR: d, STR: s, Points: 5, Parallel: 2, Trials: 1}
+}
+
+// PaperPreset returns the publication budgets of §5.1.3. Expect very long
+// runtimes; results in EXPERIMENTS.md use Small.
+func PaperPreset() Preset {
+	d := search.Defaults() // N=300000, K=800000 as published
+	s := search.STRDefaults()
+	return Preset{Name: "paper", DTR: d, STR: s, Points: 7, Parallel: 2, Trials: 1}
+}
+
+// PresetByName resolves "tiny", "small" or "paper".
+func PresetByName(name string) (Preset, error) {
+	switch strings.ToLower(name) {
+	case "tiny":
+		return Tiny(), nil
+	case "small":
+		return Small(), nil
+	case "paper":
+		return PaperPreset(), nil
+	default:
+		return Preset{}, fmt.Errorf("experiments: unknown preset %q (tiny|small|paper)", name)
+	}
+}
+
+// TableBlock is a rendered-as-table result section.
+type TableBlock struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Report is the outcome of one experiment: series (figure-style results),
+// tables, or both, plus free-form notes about modelling choices.
+type Report struct {
+	ID, Title string
+	XLabel    string
+	Series    []render.Series
+	Tables    []TableBlock
+	Notes     []string
+}
+
+// String renders the full report as text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) > 0 {
+		b.WriteString(render.SeriesTable(r.XLabel, r.Series, "%.4g"))
+	}
+	for _, tb := range r.Tables {
+		if tb.Title != "" {
+			fmt.Fprintf(&b, "\n-- %s --\n", tb.Title)
+		}
+		b.WriteString(render.Table(tb.Header, tb.Rows))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment's report under a preset.
+type Runner struct {
+	ID, Title string
+	Run       func(Preset) (*Report, error)
+}
+
+var registry = map[string]Runner{}
+
+func register(r Runner) {
+	if _, dup := registry[r.ID]; dup {
+		panic("experiments: duplicate id " + r.ID)
+	}
+	registry[r.ID] = r
+}
+
+// IDs lists registered experiments in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup returns the runner for id.
+func Lookup(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, p Preset) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r.Run(p)
+}
+
+// linspace returns n evenly spaced values from lo to hi inclusive.
+func linspace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{(lo + hi) / 2}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}

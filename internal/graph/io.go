@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation of a Graph.
+type jsonGraph struct {
+	Nodes []string  `json:"nodes"`
+	Arcs  []jsonArc `json:"arcs"`
+}
+
+type jsonArc struct {
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Capacity float64 `json:"capacity"`
+	Delay    float64 `json:"delay"`
+}
+
+// MarshalJSON encodes the graph as {"nodes": [...names], "arcs": [...]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: g.names, Arcs: make([]jsonArc, 0, len(g.edges))}
+	for _, e := range g.edges {
+		jg.Arcs = append(jg.Arcs, jsonArc{
+			From: int(e.From), To: int(e.To), Capacity: e.Capacity, Delay: e.Delay,
+		})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously encoded with MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	ng := New(len(jg.Nodes))
+	copy(ng.names, jg.Nodes)
+	for i, a := range jg.Arcs {
+		if a.From < 0 || a.From >= len(jg.Nodes) || a.To < 0 || a.To >= len(jg.Nodes) {
+			return fmt.Errorf("graph: arc %d endpoints (%d,%d) out of range", i, a.From, a.To)
+		}
+		if a.From == a.To {
+			return fmt.Errorf("graph: arc %d is a self-loop at %d", i, a.From)
+		}
+		ng.AddArc(NodeID(a.From), NodeID(a.To), a.Capacity, a.Delay)
+	}
+	*g = *ng
+	return g.Validate()
+}
+
+// Write encodes the graph as indented JSON to w.
+func (g *Graph) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Read decodes a graph from JSON read from r.
+func Read(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,186 @@
+package ospf
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+	"dualtopo/internal/topo"
+)
+
+func TestFailLinkReroutes(t *testing.T) {
+	// Diamond 0-{1,2}-3: failing 0-1 must push all traffic via 2.
+	g := graph.New(4)
+	g.AddLink(0, 1, 1, 0)
+	g.AddLink(0, 2, 1, 0)
+	g.AddLink(1, 3, 1, 0)
+	g.AddLink(2, 3, 1, 0)
+	w := spf.Uniform(g.NumEdges())
+	net, err := BuildNetwork(g, w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before: ECMP over both branches.
+	if hops := net.Router(0).NextHops(TopoHigh, 3); len(hops) != 2 {
+		t.Fatalf("pre-failure hops = %v, want both branches", hops)
+	}
+	if err := net.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	hops := net.Router(0).NextHops(TopoHigh, 3)
+	if len(hops) != 1 || hops[0] != 2 {
+		t.Fatalf("post-failure hops = %v, want [2]", hops)
+	}
+	path, err := net.Forward(Packet{Src: 0, Dst: 3, Class: TopoLow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[1] != 2 {
+		t.Fatalf("post-failure path = %v, want via 2", path)
+	}
+}
+
+func TestFailLinkDisconnects(t *testing.T) {
+	// A chain 0-1-2: failing 1-2 cuts node 2 off.
+	g := graph.New(3)
+	g.AddLink(0, 1, 1, 0)
+	g.AddLink(1, 2, 1, 0)
+	w := spf.Uniform(g.NumEdges())
+	net, err := BuildNetwork(g, w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Forward(Packet{Src: 0, Dst: 2, Class: TopoHigh}); err == nil {
+		t.Fatal("forwarding across a cut delivered")
+	}
+}
+
+func TestFailLinkUnknown(t *testing.T) {
+	g := graph.New(3)
+	g.AddLink(0, 1, 1, 0)
+	g.AddLink(1, 2, 1, 0)
+	w := spf.Uniform(g.NumEdges())
+	net, err := BuildNetwork(g, w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(0, 2); err == nil {
+		t.Fatal("failing a non-existent link succeeded")
+	}
+}
+
+// TestFailLinkMatchesRebuiltNetwork: after a failure, the reconverged FIBs
+// must equal those of a network built from scratch without the failed link —
+// and both must match the analytic SPF with the arc disabled.
+func TestFailLinkMatchesRebuiltNetwork(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 1))
+	g, err := topo.Random(12, 30, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wH := make(spf.Weights, g.NumEdges())
+	wL := make(spf.Weights, g.NumEdges())
+	for i := range wH {
+		wH[i] = 1 + rng.IntN(30)
+		wL[i] = 1 + rng.IntN(30)
+	}
+	net, err := BuildNetwork(g, wH, wL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the link between the endpoints of arc 0.
+	u, v := g.Edge(0).From, g.Edge(0).To
+	if err := net.FailLink(u, v); err != nil {
+		t.Fatal(err)
+	}
+
+	uv, _ := g.ArcBetween(u, v)
+	vu, _ := g.ArcBetween(v, u)
+	wHf := wH.WithFailedArcs(uv, vu)
+	wLf := wL.WithFailedArcs(uv, vu)
+	rebuilt, err := BuildNetwork(g, wHf, wLf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp := spf.NewComputer(g)
+	var tree spf.Tree
+	for topoID, w := range map[TopologyID]spf.Weights{TopoHigh: wHf, TopoLow: wLf} {
+		for dest := 0; dest < g.NumNodes(); dest++ {
+			comp.Tree(graph.NodeID(dest), w, &tree)
+			for src := 0; src < g.NumNodes(); src++ {
+				if src == dest {
+					continue
+				}
+				want := tree.NextHops(g, graph.NodeID(src))
+				gotFailed := net.Router(graph.NodeID(src)).NextHops(topoID, graph.NodeID(dest))
+				gotRebuilt := rebuilt.Router(graph.NodeID(src)).NextHops(topoID, graph.NodeID(dest))
+				if !sameHops(gotFailed, want) || !sameHops(gotRebuilt, want) {
+					t.Fatalf("topo %d %d->%d: failed-net %v, rebuilt %v, spf %v",
+						topoID, src, dest, gotFailed, gotRebuilt, want)
+				}
+			}
+		}
+	}
+}
+
+func sameHops(got, want []graph.NodeID) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, h := range got {
+		seen[h] = true
+	}
+	for _, h := range want {
+		if !seen[h] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSequentialFailures exercises repeated reconvergence.
+func TestSequentialFailures(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 2))
+	g, err := topo.Random(10, 25, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spf.Uniform(g.NumEdges())
+	net, err := BuildNetwork(g, w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for arc := 0; arc < g.NumEdges() && failed < 3; arc += 7 {
+		u, v := g.Edge(graph.EdgeID(arc)).From, g.Edge(graph.EdgeID(arc)).To
+		if err := net.FailLink(u, v); err != nil {
+			continue // already failed via its twin arc
+		}
+		failed++
+	}
+	if failed == 0 {
+		t.Fatal("no links failed")
+	}
+	// Forwarding must still work (or error cleanly) for every pair.
+	for src := 0; src < g.NumNodes(); src++ {
+		for dst := 0; dst < g.NumNodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			path, err := net.Forward(Packet{Src: graph.NodeID(src), Dst: graph.NodeID(dst), Class: TopoHigh})
+			if err != nil {
+				continue // disconnection is legitimate after failures
+			}
+			if path[len(path)-1] != graph.NodeID(dst) {
+				t.Fatalf("delivered to wrong node: %v", path)
+			}
+		}
+	}
+}

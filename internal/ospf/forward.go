@@ -1,0 +1,75 @@
+package ospf
+
+import (
+	"fmt"
+
+	"dualtopo/internal/graph"
+)
+
+// Packet is a classified datagram: the traffic class selects the routing
+// topology, as DSCP-to-MT mapping does in an RFC 4915 deployment.
+type Packet struct {
+	Src, Dst graph.NodeID
+	Class    TopologyID
+	// FlowHash spreads flows over equal-cost next hops; packets of one flow
+	// share a hash and therefore a path.
+	FlowHash uint32
+}
+
+// ErrNoRoute is wrapped by Forward when a hop has no FIB entry.
+var ErrNoRoute = fmt.Errorf("ospf: no route")
+
+// Forward carries the packet hop by hop through the converged network and
+// returns the node path it took (starting at Src, ending at Dst). ECMP
+// choices hash the flow onto one of the equal-cost next hops. A TTL of
+// NumNodes guards against forwarding loops, which converged SPF routing
+// must never produce.
+func (net *Network) Forward(p Packet) ([]graph.NodeID, error) {
+	if p.Class >= NumTopologies {
+		return nil, fmt.Errorf("ospf: invalid class %d", p.Class)
+	}
+	path := []graph.NodeID{p.Src}
+	cur := p.Src
+	ttl := net.g.NumNodes()
+	for cur != p.Dst {
+		if ttl == 0 {
+			return path, fmt.Errorf("ospf: TTL expired at %d forwarding %d->%d (loop?)", cur, p.Src, p.Dst)
+		}
+		ttl--
+		hops := net.routers[cur].NextHops(p.Class, p.Dst)
+		if len(hops) == 0 {
+			return path, fmt.Errorf("%w from %d to %d (class %d)", ErrNoRoute, cur, p.Dst, p.Class)
+		}
+		// Deterministic per-flow ECMP: mix the hash with the hop index so
+		// consecutive hops don't always pick the same slot position.
+		h := flowMix(p.FlowHash, uint32(cur))
+		cur = hops[int(h)%len(hops)]
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// PathDelay sums propagation delays along a node path.
+func (net *Network) PathDelay(path []graph.NodeID) (float64, error) {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		id, ok := net.g.ArcBetween(path[i], path[i+1])
+		if !ok {
+			return 0, fmt.Errorf("ospf: path hop %d->%d has no arc", path[i], path[i+1])
+		}
+		total += net.g.Edge(id).Delay
+	}
+	return total, nil
+}
+
+// flowMix is a small integer hash (xorshift-multiply) combining the flow
+// hash with per-hop salt.
+func flowMix(h, salt uint32) uint32 {
+	x := h ^ (salt * 0x9e3779b9)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}

@@ -1,0 +1,133 @@
+// Package ospf simulates the multi-topology OSPF control plane (RFC 4915)
+// that deploys the paper's dual-topology routing: every router floods
+// link-state advertisements carrying one metric per topology, builds a
+// link-state database, runs one SPF per topology, and installs per-class
+// forwarding tables. Packets are classified (e.g. by DSCP) to a topology and
+// forwarded hop by hop.
+//
+// The package cross-validates the analytic SPF substrate: the FIBs computed
+// by the distributed simulation must match internal/spf's next hops exactly.
+package ospf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dualtopo/internal/graph"
+)
+
+// TopologyID identifies one routing topology (the MT-ID of RFC 4915).
+type TopologyID uint8
+
+const (
+	// TopoHigh is the topology routing the high-priority class (MT-ID 0,
+	// the default topology).
+	TopoHigh TopologyID = 0
+	// TopoLow is the topology routing the low-priority class.
+	TopoLow TopologyID = 1
+	// NumTopologies is the number of topologies this simulation carries.
+	NumTopologies = 2
+)
+
+// LinkInfo describes one adjacency inside an LSA: the neighbor router and
+// the per-topology metrics of the arc toward it.
+type LinkInfo struct {
+	Neighbor graph.NodeID
+	Metric   [NumTopologies]uint16
+}
+
+// LSA is a router link-state advertisement: the originating router, a
+// sequence number for freshness, and the router's adjacencies with
+// multi-topology metrics.
+type LSA struct {
+	Origin graph.NodeID
+	Seq    uint32
+	Links  []LinkInfo
+}
+
+// Newer reports whether l should replace other in a database (higher
+// sequence number from the same origin).
+func (l *LSA) Newer(other *LSA) bool {
+	if other == nil {
+		return true
+	}
+	return l.Seq > other.Seq
+}
+
+// Marshal encodes the LSA into a compact binary form. The simulation floods
+// encoded LSAs to mimic a real protocol exchange (and to guarantee receivers
+// cannot share memory with the originator).
+func (l *LSA) Marshal() []byte {
+	buf := make([]byte, 0, 12+len(l.Links)*(4+2*NumTopologies))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(l.Origin))
+	buf = binary.BigEndian.AppendUint32(buf, l.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(l.Links)))
+	for _, li := range l.Links {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(li.Neighbor))
+		for t := 0; t < NumTopologies; t++ {
+			buf = binary.BigEndian.AppendUint16(buf, li.Metric[t])
+		}
+	}
+	return buf
+}
+
+// UnmarshalLSA decodes an LSA from Marshal's encoding.
+func UnmarshalLSA(data []byte) (*LSA, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("ospf: LSA too short (%d bytes)", len(data))
+	}
+	l := &LSA{
+		Origin: graph.NodeID(binary.BigEndian.Uint32(data[0:4])),
+		Seq:    binary.BigEndian.Uint32(data[4:8]),
+	}
+	count := int(binary.BigEndian.Uint32(data[8:12]))
+	const per = 4 + 2*NumTopologies
+	if len(data) != 12+count*per {
+		return nil, fmt.Errorf("ospf: LSA length %d does not match %d links", len(data), count)
+	}
+	l.Links = make([]LinkInfo, count)
+	for i := 0; i < count; i++ {
+		off := 12 + i*per
+		l.Links[i].Neighbor = graph.NodeID(binary.BigEndian.Uint32(data[off : off+4]))
+		for t := 0; t < NumTopologies; t++ {
+			l.Links[i].Metric[t] = binary.BigEndian.Uint16(data[off+4+2*t : off+6+2*t])
+		}
+	}
+	return l, nil
+}
+
+// LSDB is a link-state database: the freshest LSA from every known origin.
+type LSDB struct {
+	byOrigin map[graph.NodeID]*LSA
+}
+
+// NewLSDB returns an empty database.
+func NewLSDB() *LSDB {
+	return &LSDB{byOrigin: make(map[graph.NodeID]*LSA)}
+}
+
+// Install stores l if it is newer than the current entry for its origin,
+// reporting whether the database changed.
+func (db *LSDB) Install(l *LSA) bool {
+	cur := db.byOrigin[l.Origin]
+	if !l.Newer(cur) {
+		return false
+	}
+	db.byOrigin[l.Origin] = l
+	return true
+}
+
+// Get returns the freshest LSA from origin, or nil.
+func (db *LSDB) Get(origin graph.NodeID) *LSA { return db.byOrigin[origin] }
+
+// Len reports the number of distinct origins.
+func (db *LSDB) Len() int { return len(db.byOrigin) }
+
+// Origins lists all known origins (order unspecified).
+func (db *LSDB) Origins() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(db.byOrigin))
+	for o := range db.byOrigin {
+		out = append(out, o)
+	}
+	return out
+}

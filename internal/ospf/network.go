@@ -1,0 +1,189 @@
+package ospf
+
+import (
+	"fmt"
+	"sync"
+
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+)
+
+// Network wires one Router per graph node, floods all LSAs to convergence,
+// and computes every router's per-topology FIBs. Flooding runs one goroutine
+// per router communicating over channels; convergence is detected when every
+// router holds a full LSDB and all channels have drained.
+type Network struct {
+	g       *graph.Graph
+	routers []*Router
+}
+
+// BuildNetwork constructs routers from the graph and the two weight settings
+// (wH for the high-priority topology, wL for the low-priority topology) and
+// runs the flooding protocol to convergence.
+func BuildNetwork(g *graph.Graph, wH, wL spf.Weights) (*Network, error) {
+	if err := wH.Validate(g); err != nil {
+		return nil, fmt.Errorf("ospf: high-topology weights: %w", err)
+	}
+	if err := wL.Validate(g); err != nil {
+		return nil, fmt.Errorf("ospf: low-topology weights: %w", err)
+	}
+	n := g.NumNodes()
+	net := &Network{g: g, routers: make([]*Router, n)}
+	for u := 0; u < n; u++ {
+		var links []LinkInfo
+		for _, id := range g.Out(graph.NodeID(u)) {
+			if wH[id] == spf.Disabled || wL[id] == spf.Disabled {
+				continue // failed at build time: never advertised
+			}
+			e := g.Edge(id)
+			links = append(links, LinkInfo{
+				Neighbor: e.To,
+				Metric:   [NumTopologies]uint16{uint16(wH[id]), uint16(wL[id])},
+			})
+		}
+		net.routers[u] = newRouter(graph.NodeID(u), links)
+	}
+	if err := net.runFlood(net.routers); err != nil {
+		return nil, err
+	}
+	for _, r := range net.routers {
+		r.computeFIBs()
+	}
+	return net, nil
+}
+
+// Router returns the router at node u.
+func (net *Network) Router(u graph.NodeID) *Router { return net.routers[u] }
+
+// FailLink withdraws the bidirectional link between u and v: both end
+// routers re-originate their LSAs without the adjacency (sequence number
+// bumped), the updates flood through the network, and every router
+// recomputes its FIBs — the control plane's reaction to a fiber cut.
+func (net *Network) FailLink(u, v graph.NodeID) error {
+	ru, rv := net.routers[u], net.routers[v]
+	removedU := removeAdjacency(ru, v)
+	removedV := removeAdjacency(rv, u)
+	if !removedU || !removedV {
+		return fmt.Errorf("ospf: no link between %d and %d", u, v)
+	}
+	// The failed adjacency also stops carrying flooding traffic.
+	delete(ru.out, v)
+	delete(rv.out, u)
+	if err := net.runFlood([]*Router{ru, rv}); err != nil {
+		return err
+	}
+	for _, r := range net.routers {
+		r.computeFIBs()
+	}
+	return nil
+}
+
+// removeAdjacency drops r's link toward neighbor, reporting success.
+func removeAdjacency(r *Router, neighbor graph.NodeID) bool {
+	for i, li := range r.links {
+		if li.Neighbor == neighbor {
+			r.links = append(r.links[:i], r.links[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// runFlood floods fresh LSAs from the given originators until the whole
+// network quiesces, then leaves every router's LSDB consistent.
+//
+// Each router runs a goroutine draining its inbox. Quiescence detection uses
+// a global in-flight message counter: originations and forwards increment
+// it, every processed message decrements it; when it reaches zero no message
+// can ever be created again, so the controller closes all inboxes. Inboxes
+// are created fresh per round and sized for the worst case (every origin
+// arriving once per in-arc) so synchronous forwarding cannot deadlock.
+func (net *Network) runFlood(originators []*Router) error {
+	// Sequence numbers strictly increase across rounds so refreshed LSAs
+	// replace stale ones everywhere.
+	maxSeq := uint32(0)
+	for _, r := range net.routers {
+		if lsa := r.db.Get(r.id); lsa != nil && lsa.Seq > maxSeq {
+			maxSeq = lsa.Seq
+		}
+	}
+
+	n := len(net.routers)
+	for _, r := range net.routers {
+		r.in = make(chan []byte, n*len(r.links)+n+1)
+	}
+	for _, r := range net.routers {
+		r.out = make(map[graph.NodeID]chan<- []byte, len(r.links))
+		for _, li := range r.links {
+			r.out[li.Neighbor] = net.routers[li.Neighbor].in
+		}
+	}
+
+	var (
+		inFlight sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	send := func(ch chan<- []byte, data []byte) {
+		inFlight.Add(1)
+		ch <- data
+	}
+
+	// Originate before the goroutines start: after this point each router's
+	// LSDB is touched only by its own goroutine.
+	updates := make([][]byte, len(originators))
+	for i, r := range originators {
+		updates[i] = r.originate(maxSeq + 1).Marshal()
+	}
+
+	for _, r := range net.routers {
+		wg.Add(1)
+		go func(r *Router) {
+			defer wg.Done()
+			for data := range r.in {
+				lsa, err := UnmarshalLSA(data)
+				if err == nil {
+					if r.db.Install(lsa) {
+						r.flooded++
+						for _, ch := range r.out {
+							send(ch, data)
+						}
+					}
+				} else {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("router %d: %w", r.id, err)
+					}
+					errMu.Unlock()
+				}
+				inFlight.Done()
+			}
+		}(r)
+	}
+
+	for i, r := range originators {
+		for _, ch := range r.out {
+			send(ch, updates[i])
+		}
+	}
+
+	// When the in-flight counter drains, no further messages can appear.
+	inFlight.Wait()
+	for _, r := range net.routers {
+		close(r.in)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Converged reports whether every router learned every origin.
+func (net *Network) Converged() bool {
+	want := len(net.routers)
+	for _, r := range net.routers {
+		if r.db.Len() != want {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,302 @@
+package ospf
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+	"dualtopo/internal/topo"
+)
+
+func TestLSAMarshalRoundTrip(t *testing.T) {
+	l := &LSA{
+		Origin: 7,
+		Seq:    42,
+		Links: []LinkInfo{
+			{Neighbor: 1, Metric: [NumTopologies]uint16{3, 9}},
+			{Neighbor: 2, Metric: [NumTopologies]uint16{30, 1}},
+		},
+	}
+	got, err := UnmarshalLSA(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != 7 || got.Seq != 42 || len(got.Links) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Links[1] != l.Links[1] {
+		t.Fatalf("link mismatch: %+v", got.Links[1])
+	}
+}
+
+func TestLSAMarshalRoundTripProperty(t *testing.T) {
+	f := func(origin uint16, seq uint32, metrics []uint16) bool {
+		l := &LSA{Origin: graph.NodeID(origin), Seq: seq}
+		for i, m := range metrics {
+			l.Links = append(l.Links, LinkInfo{
+				Neighbor: graph.NodeID(i),
+				Metric:   [NumTopologies]uint16{m, m ^ 0x5555},
+			})
+		}
+		got, err := UnmarshalLSA(l.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.Origin != l.Origin || got.Seq != l.Seq || len(got.Links) != len(l.Links) {
+			return false
+		}
+		for i := range l.Links {
+			if got.Links[i] != l.Links[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalLSAErrors(t *testing.T) {
+	if _, err := UnmarshalLSA([]byte{1, 2}); err == nil {
+		t.Error("short LSA accepted")
+	}
+	l := &LSA{Origin: 1, Seq: 1, Links: []LinkInfo{{Neighbor: 2}}}
+	data := l.Marshal()
+	if _, err := UnmarshalLSA(data[:len(data)-1]); err == nil {
+		t.Error("truncated LSA accepted")
+	}
+}
+
+func TestLSDBFreshness(t *testing.T) {
+	db := NewLSDB()
+	old := &LSA{Origin: 3, Seq: 1}
+	fresh := &LSA{Origin: 3, Seq: 2}
+	if !db.Install(old) {
+		t.Fatal("first install rejected")
+	}
+	if db.Install(old) {
+		t.Fatal("duplicate accepted")
+	}
+	if !db.Install(fresh) {
+		t.Fatal("fresher rejected")
+	}
+	if db.Install(old) {
+		t.Fatal("stale accepted after fresh")
+	}
+	if db.Get(3).Seq != 2 {
+		t.Fatal("stale entry retained")
+	}
+	if db.Len() != 1 || len(db.Origins()) != 1 {
+		t.Fatal("db sizes wrong")
+	}
+}
+
+func buildTestNet(t *testing.T, seed uint64, nodes, links int) (*graph.Graph, spf.Weights, spf.Weights, *Network) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 3))
+	g, err := topo.Random(nodes, links, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wH := make(spf.Weights, g.NumEdges())
+	wL := make(spf.Weights, g.NumEdges())
+	for i := range wH {
+		wH[i] = 1 + rng.IntN(30)
+		wL[i] = 1 + rng.IntN(30)
+	}
+	net, err := BuildNetwork(g, wH, wL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, wH, wL, net
+}
+
+func TestNetworkConverges(t *testing.T) {
+	g, _, _, net := buildTestNet(t, 1, 15, 35)
+	if !net.Converged() {
+		t.Fatal("network did not converge")
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if got := net.Router(graph.NodeID(u)).LSDBLen(); got != g.NumNodes() {
+			t.Fatalf("router %d LSDB has %d origins, want %d", u, got, g.NumNodes())
+		}
+	}
+}
+
+// TestFIBMatchesAnalyticSPF is the cross-validation at the heart of this
+// package: the distributed protocol must install exactly the ECMP next hops
+// the analytic spf package computes, for both topologies.
+func TestFIBMatchesAnalyticSPF(t *testing.T) {
+	g, wH, wL, net := buildTestNet(t, 2, 15, 35)
+	for topoID, w := range map[TopologyID]spf.Weights{TopoHigh: wH, TopoLow: wL} {
+		comp := spf.NewComputer(g)
+		var tree spf.Tree
+		for dest := 0; dest < g.NumNodes(); dest++ {
+			comp.Tree(graph.NodeID(dest), w, &tree)
+			for src := 0; src < g.NumNodes(); src++ {
+				if src == dest {
+					continue
+				}
+				want := tree.NextHops(g, graph.NodeID(src))
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				got := net.Router(graph.NodeID(src)).NextHops(topoID, graph.NodeID(dest))
+				if len(got) != len(want) {
+					t.Fatalf("topo %d %d->%d: fib %v, spf %v", topoID, src, dest, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("topo %d %d->%d: fib %v, spf %v", topoID, src, dest, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForwardDeliversOnShortestPath(t *testing.T) {
+	g, wH, _, net := buildTestNet(t, 3, 12, 26)
+	comp := spf.NewComputer(g)
+	var tree spf.Tree
+	for dest := 0; dest < g.NumNodes(); dest++ {
+		comp.Tree(graph.NodeID(dest), wH, &tree)
+		for src := 0; src < g.NumNodes(); src++ {
+			if src == dest {
+				continue
+			}
+			path, err := net.Forward(Packet{
+				Src: graph.NodeID(src), Dst: graph.NodeID(dest),
+				Class: TopoHigh, FlowHash: uint32(src*31 + dest),
+			})
+			if err != nil {
+				t.Fatalf("%d->%d: %v", src, dest, err)
+			}
+			if path[0] != graph.NodeID(src) || path[len(path)-1] != graph.NodeID(dest) {
+				t.Fatalf("path endpoints wrong: %v", path)
+			}
+			// The path length must equal the shortest distance.
+			total := int64(0)
+			for i := 0; i+1 < len(path); i++ {
+				id, ok := g.ArcBetween(path[i], path[i+1])
+				if !ok {
+					t.Fatalf("path uses missing arc %d->%d", path[i], path[i+1])
+				}
+				total += int64(wH[id])
+			}
+			if total != tree.Dist[src] {
+				t.Fatalf("%d->%d: path cost %d, shortest %d (path %v)", src, dest, total, tree.Dist[src], path)
+			}
+		}
+	}
+}
+
+func TestForwardClassesDiverge(t *testing.T) {
+	// Build a 4-node diamond where the two topologies prefer different
+	// branches; the same SD pair must take different paths per class.
+	g := graph.New(4)
+	ab, _ := g.AddLink(0, 1, 1, 0) // branch via 1
+	g.AddLink(1, 3, 1, 0)
+	ac, _ := g.AddLink(0, 2, 1, 0) // branch via 2
+	g.AddLink(2, 3, 1, 0)
+	wH := spf.Uniform(g.NumEdges())
+	wL := spf.Uniform(g.NumEdges())
+	wH[ac] = 10 // high-priority avoids branch via 2
+	wL[ab] = 10 // low-priority avoids branch via 1
+	net, err := BuildNetwork(g, wH, wL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathH, err := net.Forward(Packet{Src: 0, Dst: 3, Class: TopoHigh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathL, err := net.Forward(Packet{Src: 0, Dst: 3, Class: TopoLow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pathH[1] != 1 {
+		t.Fatalf("high path = %v, want via node 1", pathH)
+	}
+	if pathL[1] != 2 {
+		t.Fatalf("low path = %v, want via node 2", pathL)
+	}
+}
+
+func TestForwardECMPStaysOnShortestPaths(t *testing.T) {
+	// Distinct flows may take different equal-cost paths but all must have
+	// equal cost.
+	g, wH, _, net := buildTestNet(t, 4, 12, 30)
+	comp := spf.NewComputer(g)
+	var tree spf.Tree
+	src, dst := graph.NodeID(0), graph.NodeID(7)
+	comp.Tree(dst, wH, &tree)
+	for flow := uint32(0); flow < 32; flow++ {
+		path, err := net.Forward(Packet{Src: src, Dst: dst, Class: TopoHigh, FlowHash: flow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := int64(0)
+		for i := 0; i+1 < len(path); i++ {
+			id, _ := g.ArcBetween(path[i], path[i+1])
+			total += int64(wH[id])
+		}
+		if total != tree.Dist[src] {
+			t.Fatalf("flow %d path cost %d != shortest %d", flow, total, tree.Dist[src])
+		}
+	}
+}
+
+func TestForwardErrors(t *testing.T) {
+	g := graph.New(3)
+	g.AddLink(0, 1, 1, 0)
+	g.AddArc(1, 2, 1, 0) // 2 is reachable but cannot reach back; still fine for 0->2
+	w := spf.Uniform(g.NumEdges())
+	net, err := BuildNetwork(g, w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Forward(Packet{Src: 0, Dst: 1, Class: 99}); err == nil {
+		t.Error("bad class accepted")
+	}
+	// 2 has no route back to 0.
+	if _, err := net.Forward(Packet{Src: 2, Dst: 0, Class: TopoHigh}); err == nil {
+		t.Error("unroutable packet delivered")
+	}
+}
+
+func TestPathDelay(t *testing.T) {
+	g := graph.New(3)
+	g.AddLink(0, 1, 1, 4)
+	g.AddLink(1, 2, 1, 6)
+	w := spf.Uniform(g.NumEdges())
+	net, err := BuildNetwork(g, w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := net.PathDelay([]graph.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 10 {
+		t.Fatalf("PathDelay = %g, want 10", d)
+	}
+	if _, err := net.PathDelay([]graph.NodeID{0, 2}); err == nil {
+		t.Error("missing-arc path accepted")
+	}
+}
+
+func TestBuildNetworkValidatesWeights(t *testing.T) {
+	g := graph.New(2)
+	g.AddLink(0, 1, 1, 0)
+	if _, err := BuildNetwork(g, spf.Uniform(1), spf.Uniform(2)); err == nil {
+		t.Error("short wH accepted")
+	}
+	bad := spf.Uniform(2)
+	bad[0] = 0
+	if _, err := BuildNetwork(g, spf.Uniform(2), bad); err == nil {
+		t.Error("zero weight accepted")
+	}
+}

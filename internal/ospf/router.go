@@ -1,0 +1,161 @@
+package ospf
+
+import (
+	"math"
+	"sort"
+
+	"dualtopo/internal/graph"
+)
+
+// Router is one simulated MT-OSPF speaker. Routers exchange encoded LSAs
+// over point-to-point adjacencies (Go channels) and maintain an LSDB and one
+// FIB per topology. A Router's goroutine owns all its mutable state; the
+// outside world interacts through channels and post-convergence snapshots.
+type Router struct {
+	id graph.NodeID
+	// links toward each neighbor, with per-topology metrics.
+	links []LinkInfo
+	db    *LSDB
+
+	in  chan []byte // LSAs arriving from neighbors
+	out map[graph.NodeID]chan<- []byte
+
+	// fib[t][dest] lists equal-cost next hops for topology t.
+	fib [NumTopologies]map[graph.NodeID][]graph.NodeID
+
+	// events counts LSDB changes; the network uses it to detect quiescence.
+	flooded int
+}
+
+// newRouter builds a router with its adjacency set. Inbox and outbox
+// channels are wired by Network.runFlood before each flooding round.
+func newRouter(id graph.NodeID, links []LinkInfo) *Router {
+	r := &Router{
+		id:    id,
+		links: links,
+		db:    NewLSDB(),
+		out:   make(map[graph.NodeID]chan<- []byte),
+	}
+	for t := 0; t < NumTopologies; t++ {
+		r.fib[t] = make(map[graph.NodeID][]graph.NodeID)
+	}
+	return r
+}
+
+// ID returns the router's node ID.
+func (r *Router) ID() graph.NodeID { return r.id }
+
+// originate builds and installs the router's own LSA.
+func (r *Router) originate(seq uint32) *LSA {
+	lsa := &LSA{Origin: r.id, Seq: seq, Links: append([]LinkInfo(nil), r.links...)}
+	r.db.Install(lsa)
+	return lsa
+}
+
+// computeFIBs runs one SPF per topology over the LSDB and installs the
+// resulting equal-cost next-hop sets.
+func (r *Router) computeFIBs() {
+	for t := 0; t < NumTopologies; t++ {
+		r.fib[t] = r.spf(TopologyID(t))
+	}
+}
+
+// spf is a textbook Dijkstra over the LSDB for one topology, returning the
+// ECMP next-hop sets from this router toward every destination.
+func (r *Router) spf(topo TopologyID) map[graph.NodeID][]graph.NodeID {
+	const inf = math.MaxInt64
+	dist := map[graph.NodeID]int64{r.id: 0}
+	visited := map[graph.NodeID]bool{}
+	for {
+		// Extract the unvisited node with the smallest distance; linear scan
+		// keeps the code obvious (LSDBs here are tens of routers).
+		var u graph.NodeID
+		best := int64(inf)
+		for n, d := range dist {
+			if !visited[n] && d < best {
+				best = d
+				u = n
+			}
+		}
+		if best == inf {
+			break
+		}
+		visited[u] = true
+		lsa := r.db.Get(u)
+		if lsa == nil {
+			continue
+		}
+		for _, li := range lsa.Links {
+			alt := best + int64(li.Metric[topo])
+			if cur, ok := dist[li.Neighbor]; !ok || alt < cur {
+				dist[li.Neighbor] = alt
+			}
+		}
+	}
+	// Next hops: neighbor n is a next hop toward dest when
+	// metric(self->n) + dist(n->dest computed from n's perspective) matches.
+	// Equivalently, run the relaxation from dist: an arc (u,v) is on a
+	// shortest path iff dist[u] + metric == dist[v]; collect first hops by
+	// walking destinations backward. Simpler and equally correct for
+	// per-router FIBs: neighbor n is a next hop for dest iff
+	// dist[n via metric(self->n)] + shortestFrom(n, dest) == dist[dest].
+	// To avoid per-neighbor SPFs we use the DAG property on dist.
+	fib := make(map[graph.NodeID][]graph.NodeID)
+	// parents[v] lists u such that (u,v) lies on a shortest path from r.id.
+	parents := make(map[graph.NodeID][]graph.NodeID)
+	for u, du := range dist {
+		lsa := r.db.Get(u)
+		if lsa == nil {
+			continue
+		}
+		for _, li := range lsa.Links {
+			if dv, ok := dist[li.Neighbor]; ok && du+int64(li.Metric[topo]) == dv {
+				parents[li.Neighbor] = append(parents[li.Neighbor], u)
+			}
+		}
+	}
+	// For each destination, next hops are the first arcs of shortest paths:
+	// walk the parent DAG from dest back to r.id, collecting the nodes whose
+	// parent is r.id and that lie on a path to dest.
+	for dest := range dist {
+		if dest == r.id {
+			continue
+		}
+		hops := map[graph.NodeID]bool{}
+		// Reverse reachability from dest in the parent DAG.
+		stack := []graph.NodeID{dest}
+		onPath := map[graph.NodeID]bool{dest: true}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range parents[v] {
+				if u == r.id {
+					hops[v] = true
+					continue
+				}
+				if !onPath[u] {
+					onPath[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		hopList := make([]graph.NodeID, 0, len(hops))
+		for h := range hops {
+			hopList = append(hopList, h)
+		}
+		sort.Slice(hopList, func(i, j int) bool { return hopList[i] < hopList[j] })
+		if len(hopList) > 0 {
+			fib[dest] = hopList
+		}
+	}
+	return fib
+}
+
+// NextHops returns the converged ECMP next hops from this router toward
+// dest in the given topology (nil when unreachable).
+func (r *Router) NextHops(topo TopologyID, dest graph.NodeID) []graph.NodeID {
+	return r.fib[topo][dest]
+}
+
+// LSDBLen reports how many origins the router has learned.
+func (r *Router) LSDBLen() int { return r.db.Len() }

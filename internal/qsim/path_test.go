@@ -1,0 +1,96 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulatePathValidatesConfig(t *testing.T) {
+	if _, err := SimulatePath(PathConfig{ProbeRate: 0.1, Packets: 100}); err == nil {
+		t.Error("empty path accepted")
+	}
+	links := []PathLink{{ServiceRate: 1}}
+	if _, err := SimulatePath(PathConfig{Links: links, ProbeRate: 0, Packets: 100}); err == nil {
+		t.Error("zero probe rate accepted")
+	}
+	// Unstable link surfaces the underlying Run error.
+	bad := []PathLink{{ServiceRate: 1, BackgroundH: 0.9}}
+	if _, err := SimulatePath(PathConfig{Links: bad, ProbeRate: 0.2, Packets: 100}); err == nil {
+		t.Error("unstable link accepted")
+	}
+}
+
+// TestPathMatchesAnalyticSum: the simulated end-to-end delay must match the
+// sum of per-link priority M/M/1 predictions — the additivity that the
+// paper's ξ(s,t) = Σ Dl model assumes.
+func TestPathMatchesAnalyticSum(t *testing.T) {
+	links := []PathLink{
+		{ServiceRate: 1, BackgroundH: 0.2, BackgroundL: 0.3, PropDelay: 5},
+		{ServiceRate: 1, BackgroundH: 0.4, BackgroundL: 0.1, PropDelay: 8},
+		{ServiceRate: 2, BackgroundH: 0.5, BackgroundL: 0.7, PropDelay: 2},
+	}
+	for _, probeHigh := range []bool{true, false} {
+		cfg := PathConfig{
+			Links: links, ProbeRate: 0.05, ProbeHigh: probeHigh,
+			Packets: 300000, Warmup: 5000, Seed: 11,
+		}
+		res, err := SimulatePath(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(res.MeanDelay, res.AnalyticDelay) > 0.05 {
+			t.Fatalf("probeHigh=%v: simulated %.3f vs analytic %.3f",
+				probeHigh, res.MeanDelay, res.AnalyticDelay)
+		}
+		if len(res.PerLink) != len(links) {
+			t.Fatalf("per-link entries = %d", len(res.PerLink))
+		}
+		sum := 0.0
+		for _, d := range res.PerLink {
+			sum += d
+		}
+		if math.Abs(sum-res.MeanDelay) > 1e-9 {
+			t.Fatalf("per-link sum %.3f != total %.3f", sum, res.MeanDelay)
+		}
+	}
+}
+
+// TestPathPropagationDominatesWhenLight: on an unloaded path, the end-to-end
+// delay is essentially the propagation sum plus one service time per hop —
+// the regime the paper notes for its SLA experiments (§5.2.2).
+func TestPathPropagationDominatesWhenLight(t *testing.T) {
+	links := []PathLink{
+		{ServiceRate: 100, PropDelay: 10},
+		{ServiceRate: 100, PropDelay: 12},
+	}
+	res, err := SimulatePath(PathConfig{
+		Links: links, ProbeRate: 0.1, ProbeHigh: true,
+		Packets: 50000, Warmup: 500, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 22 + 2.0/100 // propagation + two mean service times
+	if relErr(res.MeanDelay, want) > 0.05 {
+		t.Fatalf("light-path delay %.4f, want ~%.4f", res.MeanDelay, want)
+	}
+}
+
+// TestPathHighClassIgnoresLowBackground: adding low-priority background
+// must not change the high-priority probe's delay (preemptive priority).
+func TestPathHighClassIgnoresLowBackground(t *testing.T) {
+	mk := func(bgL float64) float64 {
+		res, err := SimulatePath(PathConfig{
+			Links:   []PathLink{{ServiceRate: 1, BackgroundH: 0.2, BackgroundL: bgL}},
+			Packets: 300000, Warmup: 5000, Seed: 7, ProbeRate: 0.1, ProbeHigh: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanDelay
+	}
+	light, heavy := mk(0.05), mk(0.6)
+	if relErr(heavy, light) > 0.05 {
+		t.Fatalf("high-priority path delay moved with low load: %.3f vs %.3f", light, heavy)
+	}
+}

@@ -1,0 +1,265 @@
+// Package qsim is a discrete-event simulator of the contention-resolution
+// mechanism the paper assumes (§1, §3): a single link serving two traffic
+// classes under strict priority queueing. It exists to validate the analytic
+// shortcuts the optimization relies on — the M/M/1 delay model of Eq. (3)
+// and the residual-capacity abstraction C̃ = C − H for the low-priority
+// class — against an actual packet-level simulation.
+//
+// Two disciplines are provided: preemptive-resume priority (the idealization
+// behind "low priority sees only residual capacity") and non-preemptive
+// priority (what routers implement; high priority additionally waits for the
+// in-service packet's residual).
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Discipline selects how the high-priority class treats a low-priority
+// packet in service.
+type Discipline int
+
+const (
+	// PreemptiveResume suspends the in-service low-priority packet when a
+	// high-priority packet arrives, resuming it where it stopped.
+	PreemptiveResume Discipline = iota
+	// NonPreemptive lets the in-service packet finish first.
+	NonPreemptive
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case PreemptiveResume:
+		return "preemptive-resume"
+	case NonPreemptive:
+		return "non-preemptive"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Config parameterizes one simulation run. Rates are in packets per unit
+// time; the unit is arbitrary but must be consistent.
+type Config struct {
+	// ArrivalH and ArrivalL are the Poisson arrival rates of the two
+	// classes.
+	ArrivalH, ArrivalL float64
+	// ServiceRate is the exponential service rate μ (same for both classes,
+	// as in the paper's per-class M/M/1 model).
+	ServiceRate float64
+	Discipline  Discipline
+	// Packets is the number of completed packets to measure (after warmup).
+	Packets int
+	// Warmup packets are simulated but not measured.
+	Warmup int
+	Seed   uint64
+}
+
+// ClassStats summarizes one class's measured delays.
+type ClassStats struct {
+	Completed   int
+	MeanWait    float64 // queueing delay (excludes service)
+	MeanSojourn float64 // queueing + service
+}
+
+// Result is a simulation outcome.
+type Result struct {
+	H, L ClassStats
+	// BusyFraction is the fraction of time the server was serving.
+	BusyFraction float64
+	// Duration is the simulated time span.
+	Duration float64
+}
+
+// packet is one queued job.
+type packet struct {
+	arrival   float64
+	remaining float64 // remaining service requirement
+	started   bool    // whether service ever began (for wait measurement)
+	waitEnd   float64 // time service first began
+}
+
+// Run simulates the configured queue and returns measured statistics.
+// The system must be stable (ρH + ρL < 1).
+func Run(cfg Config) (*Result, error) {
+	if cfg.ArrivalH < 0 || cfg.ArrivalL < 0 {
+		return nil, fmt.Errorf("qsim: negative arrival rate")
+	}
+	if cfg.ServiceRate <= 0 {
+		return nil, fmt.Errorf("qsim: service rate must be positive")
+	}
+	rho := (cfg.ArrivalH + cfg.ArrivalL) / cfg.ServiceRate
+	if rho >= 1 {
+		return nil, fmt.Errorf("qsim: unstable system (rho = %.3f >= 1)", rho)
+	}
+	if cfg.Packets <= 0 {
+		return nil, fmt.Errorf("qsim: packets must be positive")
+	}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x9517))
+	exp := func(rate float64) float64 {
+		if rate <= 0 {
+			return math.Inf(1)
+		}
+		return rng.ExpFloat64() / rate
+	}
+
+	var (
+		now        float64
+		nextH      = exp(cfg.ArrivalH)
+		nextL      = exp(cfg.ArrivalL)
+		queues     [2][]packet // 0 = H, 1 = L; the in-service job is always queues[serviceCls][0]
+		serving    = false
+		serviceCls int
+		departAt   float64
+		busy       float64
+		measured   int
+		discarded  int
+		statH      ClassStats
+		statL      ClassStats
+	)
+
+	// head returns the in-service packet. Jobs are only ever served from the
+	// head of their queue (a preempted low-priority job stays at the head),
+	// so indexing — unlike a held pointer — survives queue reallocation.
+	head := func() *packet { return &queues[serviceCls][0] }
+
+	startService := func() {
+		// Pick the next job: H strictly first.
+		switch {
+		case len(queues[0]) > 0:
+			serviceCls = 0
+		case len(queues[1]) > 0:
+			serviceCls = 1
+		default:
+			serving = false
+			return
+		}
+		serving = true
+		p := head()
+		if !p.started {
+			p.started = true
+			p.waitEnd = now
+		}
+		departAt = now + p.remaining
+	}
+
+	record := func(p *packet, cls int) {
+		if discarded < cfg.Warmup {
+			discarded++
+			return
+		}
+		measured++
+		wait := p.waitEnd - p.arrival
+		sojourn := now - p.arrival
+		if cls == 0 {
+			statH.Completed++
+			statH.MeanWait += wait
+			statH.MeanSojourn += sojourn
+		} else {
+			statL.Completed++
+			statL.MeanWait += wait
+			statL.MeanSojourn += sojourn
+		}
+	}
+
+	for measured < cfg.Packets {
+		// Next event: arrival of either class or the current departure.
+		next := math.Min(nextH, nextL)
+		if serving && departAt <= next {
+			// Departure.
+			busy += departAt - now
+			now = departAt
+			record(head(), serviceCls)
+			queues[serviceCls] = queues[serviceCls][1:]
+			startService()
+			continue
+		}
+		if serving {
+			busy += next - now
+			head().remaining -= next - now
+		}
+		now = next
+		if nextH <= nextL {
+			// High-priority arrival.
+			queues[0] = append(queues[0], packet{arrival: now, remaining: exp(cfg.ServiceRate)})
+			nextH = now + exp(cfg.ArrivalH)
+			switch {
+			case !serving:
+				startService()
+			case serviceCls == 1 && cfg.Discipline == PreemptiveResume:
+				// Suspend the low-priority job (its remaining time was
+				// already decremented above) and serve the new arrival.
+				startService()
+			default:
+				// Non-preemptive, or already serving H: keep serving; the
+				// departure time is unchanged by the decrement bookkeeping.
+				departAt = now + head().remaining
+			}
+		} else {
+			// Low-priority arrival.
+			queues[1] = append(queues[1], packet{arrival: now, remaining: exp(cfg.ServiceRate)})
+			nextL = now + exp(cfg.ArrivalL)
+			if !serving {
+				startService()
+			} else {
+				departAt = now + head().remaining
+			}
+		}
+	}
+
+	if statH.Completed > 0 {
+		statH.MeanWait /= float64(statH.Completed)
+		statH.MeanSojourn /= float64(statH.Completed)
+	}
+	if statL.Completed > 0 {
+		statL.MeanWait /= float64(statL.Completed)
+		statL.MeanSojourn /= float64(statL.Completed)
+	}
+	return &Result{
+		H:            statH,
+		L:            statL,
+		BusyFraction: busy / now,
+		Duration:     now,
+	}, nil
+}
+
+// Analytic mean sojourn times for the two-class M/M/1 priority queue with
+// equal exponential service rates (Bertsekas & Gallager §3.5). Used by tests
+// and by the model-validation example.
+
+// TheoryPreemptive returns the mean sojourn times (T_H, T_L) under
+// preemptive-resume priority.
+func TheoryPreemptive(lamH, lamL, mu float64) (float64, float64) {
+	rho1 := lamH / mu
+	rho := (lamH + lamL) / mu
+	tH := (1 / mu) / (1 - rho1)
+	tL := (1 / mu) / ((1 - rho1) * (1 - rho))
+	return tH, tL
+}
+
+// TheoryNonPreemptive returns the mean sojourn times (T_H, T_L) under
+// non-preemptive priority.
+func TheoryNonPreemptive(lamH, lamL, mu float64) (float64, float64) {
+	rho1 := lamH / mu
+	rho := (lamH + lamL) / mu
+	r := rho / mu // mean residual work seen at arrival (exponential service)
+	tH := 1/mu + r/(1-rho1)
+	tL := 1/mu + r/((1-rho1)*(1-rho))
+	return tH, tL
+}
+
+// TheoryResidualCapacity returns the paper's residual-capacity
+// approximation for the low-priority sojourn: an M/M/1 queue with service
+// capacity scaled to what the high-priority class leaves behind,
+// T_L ≈ 1/(μ(1−ρH) − λL). This is the abstraction behind C̃ = C − H; it is
+// optimistic by exactly a (1−ρH) factor versus the preemptive-resume truth.
+func TheoryResidualCapacity(lamH, lamL, mu float64) float64 {
+	residual := mu*(1-lamH/mu) - lamL
+	if residual <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / residual
+}

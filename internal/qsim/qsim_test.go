@@ -1,0 +1,204 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr returns |got-want|/want.
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / want
+}
+
+const simPackets = 400000
+
+func TestRunValidatesConfig(t *testing.T) {
+	base := Config{ArrivalH: 0.2, ArrivalL: 0.3, ServiceRate: 1, Packets: 100}
+	bad := []func(*Config){
+		func(c *Config) { c.ArrivalH = -1 },
+		func(c *Config) { c.ServiceRate = 0 },
+		func(c *Config) { c.ArrivalH = 0.7; c.ArrivalL = 0.5 }, // rho >= 1
+		func(c *Config) { c.Packets = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Run(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestMM1SingleClass(t *testing.T) {
+	// With no high-priority traffic the queue is a plain M/M/1:
+	// T = 1/(mu - lambda).
+	cfg := Config{ArrivalH: 0, ArrivalL: 0.5, ServiceRate: 1, Packets: simPackets, Warmup: 5000, Seed: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / (1 - 0.5)
+	if relErr(res.L.MeanSojourn, want) > 0.05 {
+		t.Fatalf("M/M/1 sojourn = %.3f, want %.3f (±5%%)", res.L.MeanSojourn, want)
+	}
+	if relErr(res.BusyFraction, 0.5) > 0.05 {
+		t.Fatalf("busy fraction = %.3f, want 0.5", res.BusyFraction)
+	}
+}
+
+func TestPreemptiveMatchesTheory(t *testing.T) {
+	lamH, lamL, mu := 0.25, 0.35, 1.0
+	cfg := Config{ArrivalH: lamH, ArrivalL: lamL, ServiceRate: mu,
+		Discipline: PreemptiveResume, Packets: simPackets, Warmup: 5000, Seed: 2}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantH, wantL := TheoryPreemptive(lamH, lamL, mu)
+	if relErr(res.H.MeanSojourn, wantH) > 0.05 {
+		t.Errorf("preemptive T_H = %.3f, want %.3f", res.H.MeanSojourn, wantH)
+	}
+	if relErr(res.L.MeanSojourn, wantL) > 0.05 {
+		t.Errorf("preemptive T_L = %.3f, want %.3f", res.L.MeanSojourn, wantL)
+	}
+}
+
+func TestNonPreemptiveMatchesTheory(t *testing.T) {
+	lamH, lamL, mu := 0.25, 0.35, 1.0
+	cfg := Config{ArrivalH: lamH, ArrivalL: lamL, ServiceRate: mu,
+		Discipline: NonPreemptive, Packets: simPackets, Warmup: 5000, Seed: 3}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantH, wantL := TheoryNonPreemptive(lamH, lamL, mu)
+	if relErr(res.H.MeanSojourn, wantH) > 0.05 {
+		t.Errorf("non-preemptive T_H = %.3f, want %.3f", res.H.MeanSojourn, wantH)
+	}
+	if relErr(res.L.MeanSojourn, wantL) > 0.05 {
+		t.Errorf("non-preemptive T_L = %.3f, want %.3f", res.L.MeanSojourn, wantL)
+	}
+}
+
+// TestHighPriorityImperviousUnderPreemption verifies the paper's §5.2 claim:
+// with (preemptive) priority queueing, high-priority performance does not
+// depend on the low-priority load.
+func TestHighPriorityImperviousUnderPreemption(t *testing.T) {
+	base := Config{ArrivalH: 0.3, ServiceRate: 1, Discipline: PreemptiveResume,
+		Packets: simPackets, Warmup: 5000, Seed: 4}
+	light := base
+	light.ArrivalL = 0.05
+	heavy := base
+	heavy.ArrivalL = 0.6
+	resLight, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHeavy, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(resHeavy.H.MeanSojourn, resLight.H.MeanSojourn) > 0.05 {
+		t.Fatalf("H sojourn moved with L load: %.3f (light) vs %.3f (heavy)",
+			resLight.H.MeanSojourn, resHeavy.H.MeanSojourn)
+	}
+}
+
+// TestResidualCapacityApproximation quantifies the abstraction behind
+// C̃ = C − H: the paper's residual-capacity model underestimates the true
+// (preemptive) low-priority sojourn by exactly a (1−ρH) factor.
+func TestResidualCapacityApproximation(t *testing.T) {
+	lamH, lamL, mu := 0.3, 0.3, 1.0
+	cfg := Config{ArrivalH: lamH, ArrivalL: lamL, ServiceRate: mu,
+		Discipline: PreemptiveResume, Packets: simPackets, Warmup: 5000, Seed: 5}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := TheoryResidualCapacity(lamH, lamL, mu)
+	rhoH := lamH / mu
+	// approx * 1/(1-rhoH) should equal the measured sojourn.
+	corrected := approx / (1 - rhoH)
+	if relErr(res.L.MeanSojourn, corrected) > 0.05 {
+		t.Fatalf("corrected residual model %.3f vs simulated %.3f", corrected, res.L.MeanSojourn)
+	}
+	// And the raw approximation is optimistic (lower than measured).
+	if approx >= res.L.MeanSojourn {
+		t.Fatalf("residual approximation %.3f not optimistic vs %.3f", approx, res.L.MeanSojourn)
+	}
+}
+
+func TestTheoryResidualCapacityUnstable(t *testing.T) {
+	if got := TheoryResidualCapacity(0.6, 0.5, 1); !math.IsInf(got, 1) {
+		t.Fatalf("unstable residual = %v, want +Inf", got)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := Config{ArrivalH: 0.2, ArrivalL: 0.4, ServiceRate: 1,
+		Packets: 20000, Warmup: 100, Seed: 6}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.H.MeanSojourn != b.H.MeanSojourn || a.L.MeanSojourn != b.L.MeanSojourn {
+		t.Fatal("same seed produced different results")
+	}
+	cfg.Seed = 7
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L.MeanSojourn == c.L.MeanSojourn {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestWaitExcludesService(t *testing.T) {
+	cfg := Config{ArrivalH: 0.2, ArrivalL: 0.3, ServiceRate: 1,
+		Discipline: NonPreemptive, Packets: 100000, Warmup: 1000, Seed: 8}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sojourn = wait + service; mean service is 1/mu = 1.
+	for _, cls := range []ClassStats{res.H, res.L} {
+		if diff := cls.MeanSojourn - cls.MeanWait; relErr(diff, 1.0) > 0.1 {
+			t.Fatalf("sojourn-wait = %.3f, want ~1.0 (mean service)", diff)
+		}
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if PreemptiveResume.String() != "preemptive-resume" || NonPreemptive.String() != "non-preemptive" {
+		t.Fatal("discipline strings wrong")
+	}
+	if Discipline(9).String() == "" {
+		t.Fatal("unknown discipline empty")
+	}
+}
+
+// TestPreemptionHurtsLowPriority: under preemption the low class waits
+// longer than under non-preemptive service, and the high class waits less.
+func TestPreemptionOrdering(t *testing.T) {
+	mk := func(d Discipline) *Result {
+		res, err := Run(Config{ArrivalH: 0.3, ArrivalL: 0.4, ServiceRate: 1,
+			Discipline: d, Packets: simPackets, Warmup: 5000, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	pre := mk(PreemptiveResume)
+	non := mk(NonPreemptive)
+	if pre.H.MeanSojourn >= non.H.MeanSojourn {
+		t.Fatalf("preemption should help H: %.3f vs %.3f", pre.H.MeanSojourn, non.H.MeanSojourn)
+	}
+}

@@ -1,0 +1,157 @@
+// Package render turns experiment results into aligned text tables and
+// ASCII charts, the terminal equivalents of the paper's figures.
+package render
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows under a header with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// SeriesTable renders several series sharing an x-axis as one table. Series
+// may have different x grids; missing cells render blank.
+func SeriesTable(xLabel string, series []Series, format string) string {
+	if format == "" {
+		format = "%.4g"
+	}
+	// Collect the union of x values, preserving first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	header := make([]string, 0, len(series)+1)
+	header = append(header, xLabel)
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprintf(format, x))
+		for _, s := range series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = fmt.Sprintf(format, s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	return Table(header, rows)
+}
+
+// Bars renders a labeled horizontal ASCII bar chart. Values must be
+// non-negative; the longest bar spans width characters.
+func Bars(labels []string, values []float64, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %g\n", labelWidth, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// SideBySideBars renders two aligned bar groups per label (e.g. STR vs DTR
+// link-count histograms, Fig. 3).
+func SideBySideBars(labels []string, a, b []float64, nameA, nameB string, width int) string {
+	if width < 1 {
+		width = 30
+	}
+	max := 0.0
+	for _, v := range a {
+		if v > max {
+			max = v
+		}
+	}
+	for _, v := range b {
+		if v > max {
+			max = v
+		}
+	}
+	labelWidth := len("bucket")
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s | %-*s | %s\n", labelWidth, "bucket", width+6, nameA, nameB)
+	for i := range labels {
+		bar := func(v float64) string {
+			n := 0
+			if max > 0 {
+				n = int(v / max * float64(width))
+			}
+			return fmt.Sprintf("%s %g", strings.Repeat("#", n), v)
+		}
+		fmt.Fprintf(&sb, "%-*s | %-*s | %s\n", labelWidth, labels[i], width+6, bar(a[i]), bar(b[i]))
+	}
+	return sb.String()
+}

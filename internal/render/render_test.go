@@ -1,0 +1,88 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	// All rows equally wide (trailing spaces trimmed may differ; compare the
+	// column start of the second column instead).
+	col := strings.Index(lines[0], "value")
+	if strings.Index(lines[3], "22") != col {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	out := SeriesTable("x", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "b", X: []float64{2}, Y: []float64{99}},
+	}, "%.0f")
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("missing series names:\n%s", out)
+	}
+	if !strings.Contains(out, "99") || !strings.Contains(out, "20") {
+		t.Fatalf("missing values:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + sep + 2 x-values
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeriesTableDefaultFormat(t *testing.T) {
+	out := SeriesTable("x", []Series{{Name: "s", X: []float64{1.23456}, Y: []float64{2}}}, "")
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("default %%.4g format not applied:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"one", "two"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+}
+
+func TestBarsZeroAndDefaults(t *testing.T) {
+	out := Bars([]string{"z"}, []float64{0}, 0)
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero value drew a bar: %q", out)
+	}
+}
+
+func TestSideBySideBars(t *testing.T) {
+	out := SideBySideBars([]string{"0.1", "0.2"}, []float64{4, 0}, []float64{2, 2}, "STR", "DTR", 8)
+	if !strings.Contains(out, "STR") || !strings.Contains(out, "DTR") {
+		t.Fatalf("missing group names:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "########") {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+}

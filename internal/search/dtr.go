@@ -1,0 +1,424 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dualtopo/internal/cost"
+	"dualtopo/internal/eval"
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+)
+
+// DTRResult is the outcome of the Algorithm 1 search.
+type DTRResult struct {
+	// WH and WL are the best dual-topology weight settings found.
+	WH, WL spf.Weights
+	// Result is the full evaluation of (WH, WL).
+	Result *eval.Result
+	// Best is Result's lexicographic objective.
+	Best cost.Lex
+	// Evaluations counts objective evaluations performed.
+	Evaluations int64
+}
+
+// DTR runs Algorithm 1 from unit initial weights.
+func DTR(e *eval.Evaluator, p Params) (*DTRResult, error) {
+	n := e.Graph().NumEdges()
+	return DTRFrom(e, spf.Uniform(n), spf.Uniform(n), p)
+}
+
+// DTRFrom runs Algorithm 1 from the given initial weight setting W0 =
+// {wH0, wL0}. The inputs are not modified.
+func DTRFrom(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*DTRResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := e.Graph()
+	if err := wH0.Validate(g); err != nil {
+		return nil, fmt.Errorf("search: initial WH: %w", err)
+	}
+	if err := wL0.Validate(g); err != nil {
+		return nil, fmt.Errorf("search: initial WL: %w", err)
+	}
+	s, err := newDTRSearch(e, wH0, wL0, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Routine 1 (lines 3-12): optimize WH with WL held at its initial value.
+	s.runRoutine(p.N, s.stepFindH, func() { s.perturb(s.wH, p.G1) })
+
+	// Routine 2 (lines 13-24): fix WH at the best found, optimize WL.
+	copy(s.wH, s.bestWH)
+	copy(s.wL, s.bestWL)
+	if err := s.refreshFull(); err != nil {
+		return nil, err
+	}
+	s.runRoutine(p.N, s.stepFindL, func() { s.perturb(s.wL, p.G2) })
+
+	// Routine 3 (lines 25-38): joint refinement around W*.
+	copy(s.wH, s.bestWH)
+	copy(s.wL, s.bestWL)
+	if err := s.refreshFull(); err != nil {
+		return nil, err
+	}
+	s.runRoutine(p.K, s.stepRefine, func() {
+		copy(s.wH, s.bestWH)
+		copy(s.wL, s.bestWL)
+		s.perturb(s.wH, p.G3)
+		s.perturb(s.wL, p.G3)
+	})
+
+	if s.err != nil {
+		return nil, s.err
+	}
+	best, err := e.EvaluateDTR(s.bestWH, s.bestWL)
+	if err != nil {
+		return nil, err
+	}
+	return &DTRResult{
+		WH:          s.bestWH,
+		WL:          s.bestWL,
+		Result:      best,
+		Best:        best.Objective(),
+		Evaluations: s.evals,
+	}, nil
+}
+
+// dtrSearch carries the mutable state of one Algorithm 1 run.
+type dtrSearch struct {
+	e   *eval.Evaluator
+	p   Params
+	rng *rng
+	// sampler covers ranks [1, n-m+1] per Algorithm 2.
+	sampler *rankSampler
+
+	wH, wL spf.Weights
+	cur    *eval.Result
+	curLex cost.Lex
+
+	bestWH, bestWL spf.Weights
+	bestLex        cost.Lex
+
+	order []graph.EdgeID // scratch: links sorted by decreasing cost
+	aSet  []graph.EdgeID // scratch: high-cost picks
+	bSet  []graph.EdgeID // scratch: low-cost picks
+
+	pool  []*eval.Evaluator // per-worker evaluators; pool[0] == e
+	evals int64
+	err   error
+}
+
+func newDTRSearch(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*dtrSearch, error) {
+	n := e.Graph().NumEdges()
+	max := n - p.Neighbors + 1
+	if max < 1 {
+		return nil, fmt.Errorf("search: neighborhood size m=%d exceeds %d arcs", p.Neighbors, n)
+	}
+	s := &dtrSearch{
+		e:       e,
+		p:       p,
+		rng:     newRNG(p.Seed),
+		sampler: newRankSampler(max, p.Tau),
+		wH:      wH0.Clone(),
+		wL:      wL0.Clone(),
+		order:   make([]graph.EdgeID, n),
+	}
+	workers := p.workers()
+	if workers > p.Neighbors {
+		workers = p.Neighbors
+	}
+	s.pool = make([]*eval.Evaluator, workers)
+	s.pool[0] = e
+	for i := 1; i < workers; i++ {
+		s.pool[i] = e.Clone()
+	}
+	if err := s.refreshFull(); err != nil {
+		return nil, err
+	}
+	s.bestWH = s.wH.Clone()
+	s.bestWL = s.wL.Clone()
+	s.bestLex = s.curLex
+	return s, nil
+}
+
+// refreshFull re-evaluates the current solution from scratch.
+func (s *dtrSearch) refreshFull() error {
+	r, err := s.e.EvaluateDTR(s.wH, s.wL)
+	if err != nil {
+		return err
+	}
+	s.evals++
+	s.cur = r
+	s.curLex = r.Objective()
+	return nil
+}
+
+// runRoutine executes one of Algorithm 1's three while-loops: step is the
+// per-iteration move (FindH, FindL, or both), diversify is the escape
+// action taken after M iterations without improving the incumbent.
+func (s *dtrSearch) runRoutine(iterations int, step func() bool, diversify func()) {
+	if s.err != nil {
+		return
+	}
+	sinceImprove := 0
+	for iter := 0; iter < iterations; iter++ {
+		improvedBest := step()
+		if s.err != nil {
+			return
+		}
+		if improvedBest {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		if sinceImprove >= s.p.M {
+			diversify()
+			if err := s.refreshFull(); err != nil {
+				s.err = err
+				return
+			}
+			sinceImprove = 0
+		}
+	}
+}
+
+// stepFindH performs one FindH move; reports whether the incumbent improved.
+func (s *dtrSearch) stepFindH() bool {
+	if s.findH() {
+		if s.curLex.Less(s.bestLex) {
+			s.recordBest()
+			return true
+		}
+	}
+	return false
+}
+
+// stepFindL performs one FindL move. Per Algorithm 1 routine 2, the
+// incumbent is updated on any ΦL improvement (the primary cost cannot move
+// while WH is fixed).
+func (s *dtrSearch) stepFindL() bool {
+	if s.findL() {
+		if s.curLex.Less(s.bestLex) {
+			s.recordBest()
+			return true
+		}
+	}
+	return false
+}
+
+// stepRefine performs the routine-3 composite move: FindH then FindL.
+func (s *dtrSearch) stepRefine() bool {
+	s.findH()
+	if s.err != nil {
+		return false
+	}
+	s.findL()
+	if s.err != nil {
+		return false
+	}
+	if s.curLex.Less(s.bestLex) {
+		s.recordBest()
+		return true
+	}
+	return false
+}
+
+func (s *dtrSearch) recordBest() {
+	copy(s.bestWH, s.wH)
+	copy(s.bestWL, s.wL)
+	s.bestLex = s.curLex
+}
+
+// findH runs Algorithm 2 on the high-priority weights: build the
+// neighborhood from the link-cost ranking, evaluate the m neighbors, and
+// move if the best neighbor improves the current solution. Reports whether
+// a move was accepted.
+func (s *dtrSearch) findH() bool {
+	s.sortLinks(func(id graph.EdgeID) cost.Lex { return s.cur.LinkCost(id) })
+	cands := s.buildNeighbors(s.wH)
+	if len(cands) == 0 {
+		return false
+	}
+	lexes := s.evalCandidates(cands, func(worker int, w spf.Weights) (cost.Lex, error) {
+		return s.pool[worker].ObjectiveH(w, s.cur.LLoads)
+	})
+	if s.err != nil {
+		return false
+	}
+	bestIdx := -1
+	bestLex := s.curLex
+	for i, lx := range lexes {
+		if lx.Less(bestLex) {
+			bestLex = lx
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return false
+	}
+	copy(s.wH, cands[bestIdx])
+	r, err := s.e.EvaluateHWithLLoads(s.wH, s.cur.LLoads)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.evals++
+	s.cur = r
+	s.curLex = r.Objective()
+	return true
+}
+
+// findL is FindH's twin on the low-priority weights, sorting links by ΦL,l
+// only (WL has no effect on the high-priority class).
+func (s *dtrSearch) findL() bool {
+	s.sortLinks(func(id graph.EdgeID) cost.Lex {
+		return cost.Lex{Primary: s.cur.LinkPhiL[id]}
+	})
+	cands := s.buildNeighbors(s.wL)
+	if len(cands) == 0 {
+		return false
+	}
+	phiLs := make([]float64, len(cands))
+	lexes := s.evalCandidates(cands, func(worker int, w spf.Weights) (cost.Lex, error) {
+		phiL, err := s.pool[worker].ObjectiveL(w, s.cur.Residual)
+		return cost.Lex{Primary: s.curLex.Primary, Secondary: phiL}, err
+	})
+	if s.err != nil {
+		return false
+	}
+	for i, lx := range lexes {
+		phiLs[i] = lx.Secondary
+	}
+	bestIdx := -1
+	bestPhiL := s.cur.PhiL
+	for i, phiL := range phiLs {
+		if phiL < bestPhiL {
+			bestPhiL = phiL
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return false
+	}
+	copy(s.wL, cands[bestIdx])
+	r, err := s.e.EvaluateLWithBase(s.wL, s.cur)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.evals++
+	s.cur = r
+	s.curLex = r.Objective()
+	return true
+}
+
+// sortLinks fills s.order with all arcs in decreasing cost order.
+func (s *dtrSearch) sortLinks(linkCost func(graph.EdgeID) cost.Lex) {
+	for i := range s.order {
+		s.order[i] = graph.EdgeID(i)
+	}
+	sort.SliceStable(s.order, func(i, j int) bool {
+		return linkCost(s.order[j]).Less(linkCost(s.order[i]))
+	})
+}
+
+// buildNeighbors implements Algorithm 2 lines 2-5: draw k1 and k2 from the
+// heavy-tail rank distribution, slice the m-link sets A (high cost, weights
+// to increase) and B (low cost, weights to decrease), and pair them without
+// replacement into up to m neighbor weight settings.
+func (s *dtrSearch) buildNeighbors(w spf.Weights) []spf.Weights {
+	n := len(s.order)
+	m := s.p.Neighbors
+	k1 := s.sampler.sample(s.rng.Rand)
+	k2 := s.sampler.sample(s.rng.Rand)
+	s.aSet = append(s.aSet[:0], s.order[k1-1:k1-1+m]...)
+	s.bSet = append(s.bSet[:0], s.order[n+1-k2-m:n-k2+1]...)
+	s.rng.shuffleEdges(s.aSet)
+	s.rng.shuffleEdges(s.bSet)
+
+	cands := make([]spf.Weights, 0, m)
+	for j := 0; j < m; j++ {
+		up, down := s.aSet[j], s.bSet[j]
+		if up == down {
+			continue
+		}
+		nw, changed := neighborOf(w, up, down, s.p.Step, s.p.WMax)
+		if changed {
+			cands = append(cands, nw)
+		}
+	}
+	return cands
+}
+
+// neighborOf clones w with w[up] increased and w[down] decreased by step,
+// clamped to [1, wMax]. changed reports whether the clone differs from w.
+func neighborOf(w spf.Weights, up, down graph.EdgeID, step, wMax int) (spf.Weights, bool) {
+	nw := w.Clone()
+	changed := false
+	if v := nw[up] + step; v <= wMax {
+		nw[up] = v
+		changed = true
+	} else if nw[up] != wMax {
+		nw[up] = wMax
+		changed = true
+	}
+	if v := nw[down] - step; v >= 1 {
+		nw[down] = v
+		changed = true
+	} else if nw[down] != 1 {
+		nw[down] = 1
+		changed = true
+	}
+	return nw, changed
+}
+
+// evalCandidates evaluates all candidates, in parallel when the search has
+// more than one worker. Results are reduced in candidate order, keeping the
+// search deterministic regardless of scheduling.
+func (s *dtrSearch) evalCandidates(cands []spf.Weights, fn func(worker int, w spf.Weights) (cost.Lex, error)) []cost.Lex {
+	lexes := make([]cost.Lex, len(cands))
+	errs := make([]error, len(cands))
+	workers := len(s.pool)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, w := range cands {
+			lexes[i], errs[i] = fn(0, w)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for i := wk; i < len(cands); i += workers {
+					lexes[i], errs[i] = fn(wk, cands[i])
+				}
+			}(wk)
+		}
+		wg.Wait()
+	}
+	s.evals += int64(len(cands))
+	for _, err := range errs {
+		if err != nil {
+			s.err = err
+			break
+		}
+	}
+	return lexes
+}
+
+// perturb re-randomizes a g fraction (at least one) of the weights in w.
+func (s *dtrSearch) perturb(w spf.Weights, g float64) {
+	count := int(g*float64(len(w)) + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	for _, i := range s.rng.Perm(len(w))[:count] {
+		w[i] = 1 + s.rng.IntN(s.p.WMax)
+	}
+}

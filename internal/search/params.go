@@ -1,0 +1,154 @@
+// Package search implements the paper's weight-setting heuristics: the DTR
+// three-routine search of Algorithm 1 with the FindH/FindL neighborhoods of
+// Algorithm 2 (§4), and the Fortz–Thorup "single weight change" local search
+// used as the STR baseline, including the ε-relaxed record keeping of §5.3.
+package search
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Params configures the DTR search (Algorithm 1). Zero values are invalid;
+// start from Defaults and override.
+type Params struct {
+	// N bounds iterations of routines 1 and 2 (paper: 300 000).
+	N int
+	// K bounds iterations of routine 3, the refinement (paper: 800 000).
+	K int
+	// M is the diversification interval: with no incumbent improvement for
+	// M iterations, weights are randomly perturbed (paper: 300).
+	M int
+	// Neighbors is m, the neighborhood size per iteration (paper: 5).
+	Neighbors int
+	// G1, G2, G3 are the fractions of weights perturbed when diversifying in
+	// routines 1, 2 and 3 (paper: 5%, 5%, 3%).
+	G1, G2, G3 float64
+	// Tau is the heavy-tail exponent of the rank-selection distribution
+	// P(k) ∝ k^−τ (paper: 1.5).
+	Tau float64
+	// WMax is the maximum link weight (paper: 30; minimum is always 1).
+	WMax int
+	// Step is the amount FindH/FindL add to or subtract from a weight when
+	// constructing a neighbor.
+	Step int
+	// Seed makes the search deterministic.
+	Seed uint64
+	// Workers bounds concurrent neighbor evaluations; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Defaults returns the paper's parameter settings (§5.1.3).
+func Defaults() Params {
+	return Params{
+		N:         300000,
+		K:         800000,
+		M:         300,
+		Neighbors: 5,
+		G1:        0.05,
+		G2:        0.05,
+		G3:        0.03,
+		Tau:       1.5,
+		WMax:      30,
+		Step:      1,
+		Seed:      1,
+		Workers:   0,
+	}
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 0 || p.K < 0:
+		return fmt.Errorf("search: negative iteration budget (N=%d, K=%d)", p.N, p.K)
+	case p.M < 1:
+		return fmt.Errorf("search: diversification interval M=%d < 1", p.M)
+	case p.Neighbors < 1:
+		return fmt.Errorf("search: neighborhood size m=%d < 1", p.Neighbors)
+	case p.G1 < 0 || p.G1 > 1 || p.G2 < 0 || p.G2 > 1 || p.G3 < 0 || p.G3 > 1:
+		return fmt.Errorf("search: perturbation fractions (%g,%g,%g) outside [0,1]", p.G1, p.G2, p.G3)
+	case p.Tau < 0:
+		return fmt.Errorf("search: tau=%g < 0", p.Tau)
+	case p.WMax < 2:
+		return fmt.Errorf("search: WMax=%d < 2", p.WMax)
+	case p.Step < 1:
+		return fmt.Errorf("search: step=%d < 1", p.Step)
+	case p.Workers < 0:
+		return fmt.Errorf("search: workers=%d < 0", p.Workers)
+	}
+	return nil
+}
+
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// STRParams configures the STR baseline local search.
+type STRParams struct {
+	// Iterations bounds search iterations.
+	Iterations int
+	// Candidates is how many single-weight-change neighbors are sampled and
+	// evaluated per iteration.
+	Candidates int
+	// M is the diversification interval, as in Params.
+	M int
+	// Perturb is the fraction of weights randomized when diversifying.
+	Perturb float64
+	// WMax is the maximum link weight.
+	WMax int
+	// Seed makes the search deterministic.
+	Seed uint64
+	// Epsilons lists the relaxation levels ε for which the search records
+	// the best ΦL subject to ΦH ≤ (1+ε)·Φ*H (§5.3.1). May be empty.
+	Epsilons []float64
+	// Workers bounds concurrent candidate evaluations; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// STRDefaults returns a baseline configuration whose evaluation budget
+// (Iterations × Candidates) matches the DTR Defaults budget order.
+func STRDefaults() STRParams {
+	return STRParams{
+		Iterations: 150000,
+		Candidates: 10,
+		M:          300,
+		Perturb:    0.10,
+		WMax:       30,
+		Seed:       1,
+		Epsilons:   []float64{0.05, 0.30},
+	}
+}
+
+// Validate reports the first invalid field.
+func (p STRParams) Validate() error {
+	switch {
+	case p.Iterations < 0:
+		return fmt.Errorf("search: negative STR iterations %d", p.Iterations)
+	case p.Candidates < 1:
+		return fmt.Errorf("search: STR candidates %d < 1", p.Candidates)
+	case p.M < 1:
+		return fmt.Errorf("search: STR diversification interval M=%d < 1", p.M)
+	case p.Perturb < 0 || p.Perturb > 1:
+		return fmt.Errorf("search: STR perturbation %g outside [0,1]", p.Perturb)
+	case p.WMax < 2:
+		return fmt.Errorf("search: STR WMax=%d < 2", p.WMax)
+	case p.Workers < 0:
+		return fmt.Errorf("search: STR workers=%d < 0", p.Workers)
+	}
+	for _, e := range p.Epsilons {
+		if e < 0 {
+			return fmt.Errorf("search: negative epsilon %g", e)
+		}
+	}
+	return nil
+}
+
+func (p STRParams) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

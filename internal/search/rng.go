@@ -1,0 +1,21 @@
+package search
+
+import (
+	"math/rand/v2"
+
+	"dualtopo/internal/graph"
+)
+
+// rng wraps math/rand/v2 with the small helpers the searches need.
+type rng struct {
+	*rand.Rand
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{rand.New(rand.NewPCG(seed, 0x64756c746f706f))} // "dultopo"
+}
+
+// shuffleEdges permutes a slice of edge IDs in place.
+func (r *rng) shuffleEdges(s []graph.EdgeID) {
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}

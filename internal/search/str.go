@@ -1,0 +1,259 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+
+	"dualtopo/internal/cost"
+	"dualtopo/internal/eval"
+	"dualtopo/internal/spf"
+)
+
+// RelaxedRecord is the best low-priority cost observed under the ε-relaxed
+// precedence rule of §5.3.1: among all weight settings visited whose ΦH was
+// within (1+ε) of the running optimum Φ*H, the one with the lowest ΦL.
+type RelaxedRecord struct {
+	W          spf.Weights
+	PhiH, PhiL float64
+	// Found is false when no visited setting satisfied the constraint (only
+	// possible with an empty search budget).
+	Found bool
+}
+
+// STRResult is the outcome of the single-topology baseline search.
+type STRResult struct {
+	// W is the best single weight setting found.
+	W spf.Weights
+	// Result is the full evaluation of W.
+	Result *eval.Result
+	// Best is Result's lexicographic objective.
+	Best cost.Lex
+	// Relaxed maps each requested ε to its record.
+	Relaxed map[float64]RelaxedRecord
+	// Evaluations counts objective evaluations performed.
+	Evaluations int64
+}
+
+// STR runs the Fortz–Thorup-style "single weight change" local search [2]
+// under the paper's lexicographic objective, starting from unit weights.
+// Every candidate evaluation also feeds the ε-relaxation records.
+func STR(e *eval.Evaluator, p STRParams) (*STRResult, error) {
+	return STRFrom(e, spf.Uniform(e.Graph().NumEdges()), p)
+}
+
+// STRFrom runs the STR search from the given initial weights. The input is
+// not modified.
+func STRFrom(e *eval.Evaluator, w0 spf.Weights, p STRParams) (*STRResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w0.Validate(e.Graph()); err != nil {
+		return nil, fmt.Errorf("search: initial W: %w", err)
+	}
+	s := &strSearch{
+		e:       e,
+		p:       p,
+		rng:     newRNG(p.Seed),
+		w:       w0.Clone(),
+		relaxed: make(map[float64]RelaxedRecord, len(p.Epsilons)),
+	}
+	workers := p.workers()
+	if workers > p.Candidates {
+		workers = p.Candidates
+	}
+	s.pool = make([]*eval.Evaluator, workers)
+	s.pool[0] = e
+	for i := 1; i < workers; i++ {
+		s.pool[i] = e.Clone()
+	}
+
+	first, err := e.ObjectiveSTR(s.w)
+	if err != nil {
+		return nil, err
+	}
+	s.evals++
+	s.cur = first
+	s.bestW = s.w.Clone()
+	s.bestObj = first
+	s.record(s.w, first)
+
+	sinceImprove := 0
+	for iter := 0; iter < p.Iterations; iter++ {
+		improved, err := s.step()
+		if err != nil {
+			return nil, err
+		}
+		if improved {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		if sinceImprove >= p.M {
+			s.perturb()
+			obj, err := e.ObjectiveSTR(s.w)
+			if err != nil {
+				return nil, err
+			}
+			s.evals++
+			s.cur = obj
+			s.record(s.w, obj)
+			if obj.Lex.Less(s.bestObj.Lex) {
+				copy(s.bestW, s.w)
+				s.bestObj = obj
+			}
+			sinceImprove = 0
+		}
+	}
+
+	best, err := e.EvaluateSTR(s.bestW)
+	if err != nil {
+		return nil, err
+	}
+	return &STRResult{
+		W:           s.bestW,
+		Result:      best,
+		Best:        best.Objective(),
+		Relaxed:     s.relaxed,
+		Evaluations: s.evals,
+	}, nil
+}
+
+type strSearch struct {
+	e    *eval.Evaluator
+	p    STRParams
+	rng  *rng
+	pool []*eval.Evaluator
+
+	w   spf.Weights
+	cur eval.STRObjective
+
+	bestW   spf.Weights
+	bestObj eval.STRObjective
+
+	relaxed map[float64]RelaxedRecord
+	evals   int64
+}
+
+// step samples Candidates single-weight changes, evaluates them, feeds the
+// relaxation records, and moves to the best candidate if it improves the
+// current solution. Reports whether the incumbent improved.
+func (s *strSearch) step() (bool, error) {
+	n := len(s.w)
+	type candidate struct {
+		arc       int
+		newWeight int
+	}
+	cands := make([]candidate, 0, s.p.Candidates)
+	for len(cands) < s.p.Candidates {
+		arc := s.rng.IntN(n)
+		nw := 1 + s.rng.IntN(s.p.WMax)
+		if nw == s.w[arc] {
+			continue
+		}
+		cands = append(cands, candidate{arc, nw})
+	}
+
+	objs := make([]eval.STRObjective, len(cands))
+	errs := make([]error, len(cands))
+	weights := make([]spf.Weights, len(cands))
+	for i, c := range cands {
+		weights[i] = s.w.Clone()
+		weights[i][c.arc] = c.newWeight
+	}
+	workers := len(s.pool)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i := range cands {
+			objs[i], errs[i] = s.pool[0].ObjectiveSTR(weights[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for i := wk; i < len(cands); i += workers {
+					objs[i], errs[i] = s.pool[wk].ObjectiveSTR(weights[i])
+				}
+			}(wk)
+		}
+		wg.Wait()
+	}
+	s.evals += int64(len(cands))
+	for _, err := range errs {
+		if err != nil {
+			return false, err
+		}
+	}
+
+	bestIdx := -1
+	bestLex := s.cur.Lex
+	for i, obj := range objs {
+		s.record(weights[i], obj)
+		if obj.Lex.Less(bestLex) {
+			bestLex = obj.Lex
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return false, nil
+	}
+	copy(s.w, weights[bestIdx])
+	s.cur = objs[bestIdx]
+	if s.cur.Lex.Less(s.bestObj.Lex) {
+		copy(s.bestW, s.w)
+		s.bestObj = s.cur
+		return true, nil
+	}
+	return false, nil
+}
+
+// record feeds one evaluated setting into the ε-relaxation bookkeeping of
+// §5.3.1: for each ε, keep the lowest-ΦL setting whose ΦH is within (1+ε)
+// of the running optimum Φ*H(n). The rule is online, exactly as the paper
+// describes: records are not re-filtered when Φ*H later improves. It covers
+// every evaluated candidate (a superset of the visited-solution sequence).
+//
+// ε-relaxation is a load-based concept; for SLA-based runs the analogous
+// relaxation is a looser delay bound, applied at the evaluator (§5.3.2).
+func (s *strSearch) record(w spf.Weights, obj eval.STRObjective) {
+	if len(s.p.Epsilons) == 0 || s.e.Options().Kind != eval.LoadBased {
+		return
+	}
+	// Φ*H(n): the lowest ΦH seen so far, including this candidate. For
+	// load-based runs the lexicographic primary is ΦH itself.
+	bestPhiH := s.bestObj.PhiH
+	if s.cur.PhiH < bestPhiH {
+		bestPhiH = s.cur.PhiH
+	}
+	if obj.PhiH < bestPhiH {
+		bestPhiH = obj.PhiH
+	}
+	for _, epsilon := range s.p.Epsilons {
+		if obj.PhiH > (1+epsilon)*bestPhiH {
+			continue
+		}
+		rec, ok := s.relaxed[epsilon]
+		if !ok || !rec.Found || obj.PhiL < rec.PhiL {
+			s.relaxed[epsilon] = RelaxedRecord{
+				W:     w.Clone(),
+				PhiH:  obj.PhiH,
+				PhiL:  obj.PhiL,
+				Found: true,
+			}
+		}
+	}
+}
+
+// perturb re-randomizes a Perturb fraction (at least one) of the weights.
+func (s *strSearch) perturb() {
+	count := int(s.p.Perturb*float64(len(s.w)) + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	for _, i := range s.rng.Perm(len(s.w))[:count] {
+		s.w[i] = 1 + s.rng.IntN(s.p.WMax)
+	}
+}

@@ -1,0 +1,161 @@
+package spf
+
+import (
+	"dualtopo/internal/graph"
+	"dualtopo/internal/traffic"
+)
+
+// MultiPlan routes one or more traffic matrices over a single weight setting
+// (one SPF tree set), retaining per-destination trees for delay queries.
+// This is the evaluation core for both STR (two classes, one topology) and
+// each DTR class (one class per topology). A MultiPlan reuses all buffers
+// across Route calls and is not safe for concurrent use.
+type MultiPlan struct {
+	g     *graph.Graph
+	comp  *Computer
+	dests []graph.NodeID // union of active destinations across matrices
+	trees []Tree         // parallel to dests
+	byID  []int          // node -> index into dests, -1 if inactive
+
+	// Loads[i] is the per-arc volume of the i-th matrix after Route.
+	Loads [][]float64
+
+	demandBuf []float64
+	xiBuf     []float64
+}
+
+// NewMultiPlan prepares routing state for the union of destinations active
+// in the given matrices. Route must later be called with matrices having the
+// same (or a subset of the) active destination sets.
+func NewMultiPlan(g *graph.Graph, tms ...*traffic.Matrix) *MultiPlan {
+	p := &MultiPlan{
+		g:    g,
+		comp: NewComputer(g),
+		byID: make([]int, g.NumNodes()),
+	}
+	for i := range p.byID {
+		p.byID[i] = -1
+	}
+	for _, tm := range tms {
+		for _, d := range tm.ActiveDestinations() {
+			if p.byID[d] == -1 {
+				p.byID[d] = len(p.dests)
+				p.dests = append(p.dests, d)
+			}
+		}
+	}
+	p.trees = make([]Tree, len(p.dests))
+	p.Loads = make([][]float64, len(tms))
+	for i := range p.Loads {
+		p.Loads[i] = make([]float64, g.NumEdges())
+	}
+	return p
+}
+
+// Destinations returns the active destination union.
+func (p *MultiPlan) Destinations() []graph.NodeID { return p.dests }
+
+// Route computes shortest-path DAGs under w and aggregates each matrix's
+// demands into the corresponding Loads slice.
+func (p *MultiPlan) Route(w Weights, tms ...*traffic.Matrix) error {
+	for i := range tms {
+		loads := p.Loads[i]
+		for j := range loads {
+			loads[j] = 0
+		}
+	}
+	for di, dest := range p.dests {
+		t := &p.trees[di]
+		p.comp.Tree(dest, w, t)
+		for mi, tm := range tms {
+			p.demandBuf = tm.DemandsTo(dest, p.demandBuf)
+			any := false
+			for _, d := range p.demandBuf {
+				if d != 0 {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			if err := p.comp.AddLoads(t, p.demandBuf, p.Loads[mi]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Tree returns the routing tree toward dest from the last Route call, or nil
+// if dest is not an active destination.
+func (p *MultiPlan) Tree(dest graph.NodeID) *Tree {
+	i := p.byID[dest]
+	if i < 0 {
+		return nil
+	}
+	return &p.trees[i]
+}
+
+// DelaysTo returns expected delays from every node to dst given per-arc
+// delays. The returned slice is reused by the next DelaysTo call. It panics
+// on an inactive destination.
+func (p *MultiPlan) DelaysTo(dst graph.NodeID, arcDelay []float64) []float64 {
+	t := p.Tree(dst)
+	if t == nil {
+		panic("spf: DelaysTo on inactive destination")
+	}
+	p.xiBuf = t.Delays(p.g, arcDelay, p.xiBuf)
+	return p.xiBuf
+}
+
+// Plan routes a single traffic matrix under changing weight settings. It is
+// a MultiPlan specialized to one matrix, exposing its loads as a flat slice.
+type Plan struct {
+	mp *MultiPlan
+
+	// Loads is the per-arc volume after the last Route call.
+	Loads []float64
+}
+
+// NewPlan prepares routing state for the destinations active in tm.
+func NewPlan(g *graph.Graph, tm *traffic.Matrix) *Plan {
+	mp := NewMultiPlan(g, tm)
+	return &Plan{mp: mp, Loads: mp.Loads[0]}
+}
+
+// Destinations returns the active destination set.
+func (p *Plan) Destinations() []graph.NodeID { return p.mp.Destinations() }
+
+// Route computes shortest-path DAGs for every active destination under w and
+// aggregates tm's demands into p.Loads.
+func (p *Plan) Route(w Weights, tm *traffic.Matrix) error {
+	return p.mp.Route(w, tm)
+}
+
+// Tree returns the routing tree toward dest from the last Route call, or nil
+// if dest is not an active destination.
+func (p *Plan) Tree(dest graph.NodeID) *Tree { return p.mp.Tree(dest) }
+
+// PairDelay returns the expected end-to-end delay from src to dst under the
+// last Route call, given per-arc delays. For repeated queries against the
+// same destination prefer DelaysTo.
+func (p *Plan) PairDelay(src, dst graph.NodeID, arcDelay []float64) float64 {
+	return p.mp.DelaysTo(dst, arcDelay)[src]
+}
+
+// DelaysTo returns expected delays from every node to dst. The returned
+// slice is reused by the next DelaysTo call.
+func (p *Plan) DelaysTo(dst graph.NodeID, arcDelay []float64) []float64 {
+	return p.mp.DelaysTo(dst, arcDelay)
+}
+
+// Loads is a convenience wrapper: route tm under w on g and return the
+// per-arc load vector.
+func Loads(g *graph.Graph, w Weights, tm *traffic.Matrix) ([]float64, error) {
+	p := NewPlan(g, tm)
+	if err := p.Route(w, tm); err != nil {
+		return nil, err
+	}
+	return p.Loads, nil
+}

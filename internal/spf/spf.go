@@ -1,0 +1,289 @@
+// Package spf implements the OSPF-style shortest-path forwarding model the
+// paper assumes: per-destination shortest-path DAGs under integer link
+// weights, even ECMP splitting at every hop (the Fortz–Thorup convention),
+// per-arc load aggregation for a traffic matrix, and expected end-to-end
+// delay over the ECMP DAG.
+package spf
+
+import (
+	"fmt"
+	"math"
+
+	"dualtopo/internal/graph"
+)
+
+// Weights assigns a routing weight to every arc (indexed by EdgeID).
+// Weights must be >= 1; the paper uses the range [1, 30]. The sentinel
+// Disabled removes an arc from routing entirely (link failure).
+type Weights []int
+
+// Disabled marks an arc as failed/unusable: SPF ignores it completely.
+const Disabled = int(^uint32(0) >> 1) // large sentinel, never a real weight
+
+// Clone returns a copy of w.
+func (w Weights) Clone() Weights { return append(Weights(nil), w...) }
+
+// WithFailedArcs returns a copy of w with the given arcs disabled.
+func (w Weights) WithFailedArcs(arcs ...graph.EdgeID) Weights {
+	c := w.Clone()
+	for _, id := range arcs {
+		c[id] = Disabled
+	}
+	return c
+}
+
+// Uniform returns unit weights (hop-count routing) for a graph with n arcs.
+func Uniform(n int) Weights {
+	w := make(Weights, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Validate checks that w covers every arc with a positive weight (or the
+// Disabled sentinel).
+func (w Weights) Validate(g *graph.Graph) error {
+	if len(w) != g.NumEdges() {
+		return fmt.Errorf("spf: %d weights for %d arcs", len(w), g.NumEdges())
+	}
+	for i, x := range w {
+		if x < 1 {
+			return fmt.Errorf("spf: arc %d has non-positive weight %d", i, x)
+		}
+	}
+	return nil
+}
+
+// unreachable marks nodes with no path to the destination.
+const unreachable = math.MaxInt64
+
+// Tree is the shortest-path structure rooted at one destination: distances,
+// the ECMP DAG (per-node set of outgoing arcs on shortest paths toward
+// Dest), and the nodes in increasing-distance order. A Tree is filled by
+// Computer.Tree and remains valid until its next reuse.
+type Tree struct {
+	Dest  graph.NodeID
+	Dist  []int64          // Dist[u]: shortest weighted distance u -> Dest
+	Next  [][]graph.EdgeID // Next[u]: arcs (u,v) with w(u,v)+Dist[v] == Dist[u]
+	Order []graph.NodeID   // reachable nodes sorted by increasing Dist (Dest first)
+}
+
+// Reaches reports whether u has a path to the destination.
+func (t *Tree) Reaches(u graph.NodeID) bool { return t.Dist[u] != unreachable }
+
+// NextHops returns the ECMP next-hop nodes of u toward Dest.
+func (t *Tree) NextHops(g *graph.Graph, u graph.NodeID) []graph.NodeID {
+	hops := make([]graph.NodeID, 0, len(t.Next[u]))
+	for _, id := range t.Next[u] {
+		hops = append(hops, g.Edge(id).To)
+	}
+	return hops
+}
+
+// Computer runs repeated single-destination SPF computations over one graph,
+// reusing internal buffers. It is not safe for concurrent use; create one
+// Computer per goroutine.
+type Computer struct {
+	g    *graph.Graph
+	heap nodeHeap
+	flow []float64 // buffer for load aggregation
+}
+
+// NewComputer returns a Computer for g.
+func NewComputer(g *graph.Graph) *Computer {
+	n := g.NumNodes()
+	return &Computer{
+		g:    g,
+		heap: newNodeHeap(n),
+		flow: make([]float64, n),
+	}
+}
+
+// Tree computes the shortest-path DAG toward dest under w, storing the
+// result in t (its slices are reused when large enough).
+func (c *Computer) Tree(dest graph.NodeID, w Weights, t *Tree) {
+	g := c.g
+	n := g.NumNodes()
+	t.Dest = dest
+	if cap(t.Dist) < n {
+		t.Dist = make([]int64, n)
+		t.Next = make([][]graph.EdgeID, n)
+		t.Order = make([]graph.NodeID, 0, n)
+	}
+	t.Dist = t.Dist[:n]
+	t.Next = t.Next[:n]
+	t.Order = t.Order[:0]
+	for u := range t.Dist {
+		t.Dist[u] = unreachable
+		t.Next[u] = t.Next[u][:0]
+	}
+
+	// Dijkstra from dest over incoming arcs (reverse graph): Dist[u] is the
+	// distance from u to dest in the forward graph.
+	h := &c.heap
+	h.reset()
+	t.Dist[dest] = 0
+	h.push(dest, 0)
+	for h.len() > 0 {
+		u, du := h.pop()
+		if du > t.Dist[u] {
+			continue // stale entry
+		}
+		t.Order = append(t.Order, u)
+		for _, id := range g.In(u) {
+			if w[id] == Disabled {
+				continue
+			}
+			e := g.Edge(id)
+			v := e.From
+			alt := du + int64(w[id])
+			if alt < t.Dist[v] {
+				t.Dist[v] = alt
+				h.push(v, alt)
+			}
+		}
+	}
+
+	// ECMP DAG: arc (u,v) is on a shortest path iff w + Dist[v] == Dist[u].
+	for _, e := range g.Edges() {
+		if w[e.ID] == Disabled {
+			continue
+		}
+		dv := t.Dist[e.To]
+		if dv == unreachable {
+			continue
+		}
+		if dv+int64(w[e.ID]) == t.Dist[e.From] {
+			t.Next[e.From] = append(t.Next[e.From], e.ID)
+		}
+	}
+}
+
+// AddLoads routes demand (volume per source node, destined to t.Dest) over
+// the ECMP DAG and accumulates the resulting per-arc volume into loads.
+// Traffic splits evenly across equal-cost next hops at every node. It
+// returns an error if a positive demand originates at a node that cannot
+// reach the destination.
+func (c *Computer) AddLoads(t *Tree, demand []float64, loads []float64) error {
+	flow := c.flow
+	for i := range flow {
+		flow[i] = 0
+	}
+	for u, d := range demand {
+		if d == 0 {
+			continue
+		}
+		if !t.Reaches(graph.NodeID(u)) {
+			return fmt.Errorf("spf: node %d has demand %g but no path to %d", u, d, t.Dest)
+		}
+		flow[u] = d
+	}
+	// Process nodes farthest-first so all upstream contributions to a node
+	// are accumulated before its own flow is split.
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		f := flow[u]
+		if f == 0 || u == t.Dest {
+			continue
+		}
+		share := f / float64(len(t.Next[u]))
+		for _, id := range t.Next[u] {
+			loads[id] += share
+			flow[c.g.Edge(id).To] += share
+		}
+	}
+	return nil
+}
+
+// Delays fills xi with the expected end-to-end delay from every node to
+// t.Dest, where arcDelay holds the per-arc delay (e.g. queueing +
+// propagation, Eq. 3). The expectation is over the even ECMP split:
+// xi(u) = mean over next hops (u,v) of (arcDelay(u,v) + xi(v)).
+// Unreachable nodes get +Inf. The returned slice aliases xi when it has
+// sufficient capacity.
+func (t *Tree) Delays(g *graph.Graph, arcDelay []float64, xi []float64) []float64 {
+	n := g.NumNodes()
+	if cap(xi) < n {
+		xi = make([]float64, n)
+	}
+	xi = xi[:n]
+	for u := range xi {
+		xi[u] = math.Inf(1)
+	}
+	xi[t.Dest] = 0
+	// Increasing-distance order guarantees xi of all next hops is final
+	// (arcs in the DAG strictly decrease distance since weights >= 1).
+	for _, u := range t.Order {
+		if u == t.Dest {
+			continue
+		}
+		sum := 0.0
+		for _, id := range t.Next[u] {
+			sum += arcDelay[id] + xi[g.Edge(id).To]
+		}
+		xi[u] = sum / float64(len(t.Next[u]))
+	}
+	return xi
+}
+
+// nodeHeap is a lazy-deletion binary min-heap of (node, dist) entries.
+type nodeHeap struct {
+	nodes []graph.NodeID
+	dists []int64
+}
+
+func newNodeHeap(n int) nodeHeap {
+	return nodeHeap{nodes: make([]graph.NodeID, 0, n), dists: make([]int64, 0, n)}
+}
+
+func (h *nodeHeap) reset() {
+	h.nodes = h.nodes[:0]
+	h.dists = h.dists[:0]
+}
+
+func (h *nodeHeap) len() int { return len(h.nodes) }
+
+func (h *nodeHeap) push(u graph.NodeID, d int64) {
+	h.nodes = append(h.nodes, u)
+	h.dists = append(h.dists, d)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.dists[parent] <= h.dists[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() (graph.NodeID, int64) {
+	u, d := h.nodes[0], h.dists[0]
+	last := len(h.nodes) - 1
+	h.nodes[0], h.dists[0] = h.nodes[last], h.dists[last]
+	h.nodes = h.nodes[:last]
+	h.dists = h.dists[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.dists[l] < h.dists[smallest] {
+			smallest = l
+		}
+		if r < last && h.dists[r] < h.dists[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return u, d
+}
+
+func (h *nodeHeap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
+}

@@ -1,0 +1,34 @@
+package topo
+
+import (
+	"math/rand/v2"
+
+	"dualtopo/internal/graph"
+)
+
+// Synthesized-topology propagation delay range from §5.1.1: 1.2 ms (metro)
+// to 15 ms (coast-to-coast).
+const (
+	MinSynthDelayMs = 1.2
+	MaxSynthDelayMs = 15.0
+)
+
+// AssignUniformDelays sets each bidirectional link's propagation delay to a
+// uniform sample in [minMs, maxMs], identical for both arc directions (a
+// fiber span has one length). Arcs without a reverse twin get their own
+// sample.
+func AssignUniformDelays(g *graph.Graph, minMs, maxMs float64, rng *rand.Rand) {
+	done := make([]bool, g.NumEdges())
+	for id := 0; id < g.NumEdges(); id++ {
+		if done[id] {
+			continue
+		}
+		d := minMs + rng.Float64()*(maxMs-minMs)
+		g.SetDelay(graph.EdgeID(id), d)
+		done[id] = true
+		if rev, ok := g.Reverse(graph.EdgeID(id)); ok && !done[rev] {
+			g.SetDelay(rev, d)
+			done[rev] = true
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package topo
+
+import (
+	"math"
+
+	"dualtopo/internal/graph"
+)
+
+// ispCity is a node of the emulated North-American backbone.
+type ispCity struct {
+	name     string
+	lat, lon float64
+}
+
+// The paper's ISP topology has 16 nodes and 70 directed links (35
+// bidirectional) emulating a North-American backbone, with per-link
+// propagation delays of 8–15 ms derived from node geography. The authors'
+// topology is proprietary; this is a hand-built equivalent over real city
+// coordinates with the same node/link counts and delay range.
+var ispCities = []ispCity{
+	{"Seattle", 47.61, -122.33},
+	{"Sunnyvale", 37.37, -122.04},
+	{"LosAngeles", 34.05, -118.24},
+	{"Phoenix", 33.45, -112.07},
+	{"SaltLakeCity", 40.76, -111.89},
+	{"Denver", 39.74, -104.99},
+	{"Dallas", 32.78, -96.80},
+	{"Houston", 29.76, -95.36},
+	{"KansasCity", 39.10, -94.58},
+	{"Chicago", 41.88, -87.63},
+	{"Indianapolis", 39.77, -86.16},
+	{"Atlanta", 33.75, -84.39},
+	{"Miami", 25.76, -80.19},
+	{"WashingtonDC", 38.91, -77.04},
+	{"NewYork", 40.71, -74.01},
+	{"Boston", 42.36, -71.06},
+}
+
+// ispLinks lists the 35 bidirectional links by city index.
+var ispLinks = [][2]int{
+	{0, 1}, {0, 4}, {0, 5}, {0, 9}, // Seattle
+	{1, 2}, {1, 4}, {1, 5}, // Sunnyvale
+	{2, 3}, {2, 4}, {2, 6}, // Los Angeles
+	{3, 5}, {3, 6}, // Phoenix
+	{4, 5},                 // Salt Lake City
+	{5, 8}, {5, 6}, {5, 9}, // Denver
+	{6, 7}, {6, 8}, {6, 11}, // Dallas
+	{7, 11}, {7, 12}, // Houston
+	{8, 9}, {8, 10}, {8, 11}, // Kansas City
+	{9, 10}, {9, 14}, {9, 15}, {9, 13}, // Chicago
+	{10, 11}, {10, 13}, // Indianapolis
+	{11, 12}, {11, 13}, // Atlanta
+	{12, 13}, // Miami
+	{13, 14}, // Washington DC
+	{14, 15}, // New York
+}
+
+// ISPBackbone returns the 16-node, 70-arc North-American backbone topology
+// with the given per-arc capacity. Propagation delays are computed from
+// great-circle distances at 200 km/ms and clamped to the paper's 8–15 ms
+// range.
+func ISPBackbone(capacity float64) *graph.Graph {
+	g := graph.New(len(ispCities))
+	for i, c := range ispCities {
+		g.SetName(graph.NodeID(i), c.name)
+	}
+	for _, l := range ispLinks {
+		a, b := ispCities[l[0]], ispCities[l[1]]
+		d := greatCircleKm(a.lat, a.lon, b.lat, b.lon) / 200.0 // ms at ~2/3 c in fiber
+		delay := clamp(d, 8, 15)
+		g.AddLink(graph.NodeID(l[0]), graph.NodeID(l[1]), capacity, delay)
+	}
+	return g
+}
+
+// greatCircleKm returns the great-circle distance between two lat/lon points
+// in kilometers (haversine formula, mean Earth radius).
+func greatCircleKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371.0
+	rad := math.Pi / 180
+	dLat := (lat2 - lat1) * rad
+	dLon := (lon2 - lon1) * rad
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*rad)*math.Cos(lat2*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(a))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

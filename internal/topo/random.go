@@ -1,0 +1,85 @@
+// Package topo generates the three topology families evaluated in the paper
+// (§5.1.1): random topologies with near-uniform degree, power-law topologies
+// grown by preferential attachment, and a 16-node North-American ISP
+// backbone. All generators produce bidirectional links (two arcs) with equal
+// capacities, and are deterministic for a given rand source.
+package topo
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dualtopo/internal/graph"
+)
+
+// DefaultCapacity is the per-arc capacity used throughout the paper (Mbps).
+const DefaultCapacity = 500
+
+// Random generates a connected topology with n nodes and `links`
+// bidirectional links (2*links arcs) where all nodes end up with similar
+// degrees, per the paper's "random topology" description. It starts from a
+// random Hamiltonian cycle (guaranteeing strong connectivity) and then
+// repeatedly connects the lowest-degree node pair that is not yet linked.
+//
+// Capacities are set to capacity; propagation delays are zero — assign them
+// with AssignUniformDelays for SLA experiments.
+func Random(n, links int, capacity float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: Random needs n >= 3, got %d", n)
+	}
+	if links < n {
+		return nil, fmt.Errorf("topo: Random needs links >= n for a cycle, got %d < %d", links, n)
+	}
+	if max := n * (n - 1) / 2; links > max {
+		return nil, fmt.Errorf("topo: Random: %d links exceed complete graph (%d)", links, max)
+	}
+	g := graph.New(n)
+	// Random cycle for connectivity and degree 2 everywhere.
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		u := graph.NodeID(perm[i])
+		v := graph.NodeID(perm[(i+1)%n])
+		g.AddLink(u, v, capacity, 0)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 2
+	}
+	for added := n; added < links; added++ {
+		u, v, ok := lowestDegreePair(g, degree, rng)
+		if !ok {
+			return nil, fmt.Errorf("topo: Random: no remaining node pair at %d links", added)
+		}
+		g.AddLink(u, v, capacity, 0)
+		degree[u]++
+		degree[v]++
+	}
+	return g, nil
+}
+
+// lowestDegreePair picks two distinct, not-yet-linked nodes, preferring the
+// lowest-degree nodes with random tie-breaking so the final degree
+// distribution stays near uniform.
+func lowestDegreePair(g *graph.Graph, degree []int, rng *rand.Rand) (graph.NodeID, graph.NodeID, bool) {
+	n := len(degree)
+	order := rng.Perm(n)
+	// Sort candidate order by (degree, random tiebreak) using the permuted
+	// order as the tiebreak: stable selection without extra state.
+	byDegree := make([]int, 0, n)
+	byDegree = append(byDegree, order...)
+	for i := 1; i < len(byDegree); i++ {
+		for j := i; j > 0 && degree[byDegree[j]] < degree[byDegree[j-1]]; j-- {
+			byDegree[j], byDegree[j-1] = byDegree[j-1], byDegree[j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		u := graph.NodeID(byDegree[i])
+		for j := i + 1; j < n; j++ {
+			v := graph.NodeID(byDegree[j])
+			if !g.HasLink(u, v) {
+				return u, v, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,216 @@
+package topo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"dualtopo/internal/graph"
+)
+
+func TestRandomShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g, err := Random(30, 75, DefaultCapacity, rng)
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	if g.NumNodes() != 30 {
+		t.Fatalf("nodes = %d, want 30", g.NumNodes())
+	}
+	if g.NumEdges() != 150 {
+		t.Fatalf("arcs = %d, want 150 (paper's 150-link random topology)", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("random topology not strongly connected")
+	}
+	for _, e := range g.Edges() {
+		if e.Capacity != DefaultCapacity {
+			t.Fatalf("arc %d capacity = %g", e.ID, e.Capacity)
+		}
+	}
+}
+
+func TestRandomDegreesSimilar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	g, err := Random(30, 75, DefaultCapacity, rng)
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	min, max := 1<<30, 0
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.UndirectedDegree(graph.NodeID(u))
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	// Average degree is 5 (2*75/30); "similar link degrees" means a narrow
+	// band around it.
+	if max-min > 2 {
+		t.Fatalf("degree spread too wide: min=%d max=%d", min, max)
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := Random(2, 5, 1, rng); err == nil {
+		t.Error("Random(2 nodes) accepted")
+	}
+	if _, err := Random(10, 5, 1, rng); err == nil {
+		t.Error("Random(links < n) accepted")
+	}
+	if _, err := Random(5, 11, 1, rng); err == nil {
+		t.Error("Random(links > complete) accepted")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random(20, 50, 1, rand.New(rand.NewPCG(3, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(20, 50, 1, rand.New(rand.NewPCG(3, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := 0; i < a.NumEdges(); i++ {
+		if a.Edge(graph.EdgeID(i)) != b.Edge(graph.EdgeID(i)) {
+			t.Fatalf("same seed produced different arc %d", i)
+		}
+	}
+}
+
+func TestPowerLawShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	g, err := PowerLaw(30, 81, DefaultCapacity, rng)
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	if g.NumEdges() != 162 {
+		t.Fatalf("arcs = %d, want 162 (paper's 162-link power-law topology)", g.NumEdges())
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("power-law topology not strongly connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPowerLawSkewedDegrees(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	g, err := PowerLaw(60, 160, 1, rng)
+	if err != nil {
+		t.Fatalf("PowerLaw: %v", err)
+	}
+	degs := make([]int, g.NumNodes())
+	for u := range degs {
+		degs[u] = g.UndirectedDegree(graph.NodeID(u))
+	}
+	min, max, sum := degs[0], degs[0], 0
+	for _, d := range degs {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	mean := float64(sum) / float64(len(degs))
+	// Preferential attachment must produce hubs: max degree well above the
+	// mean, unlike the uniform random generator.
+	if float64(max) < 2.5*mean {
+		t.Fatalf("no hub emerged: max=%d mean=%.1f", max, mean)
+	}
+	if min < 1 {
+		t.Fatalf("isolated node: min degree %d", min)
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := PowerLaw(3, 5, 1, rng); err == nil {
+		t.Error("PowerLaw(n too small) accepted")
+	}
+	if _, err := PowerLaw(30, 10, 1, rng); err == nil {
+		t.Error("PowerLaw(too few links) accepted")
+	}
+	if _, err := PowerLaw(5, 11, 1, rng); err == nil {
+		t.Error("PowerLaw(links > complete) accepted")
+	}
+}
+
+func TestISPBackboneShape(t *testing.T) {
+	g := ISPBackbone(DefaultCapacity)
+	if g.NumNodes() != 16 {
+		t.Fatalf("nodes = %d, want 16", g.NumNodes())
+	}
+	if g.NumEdges() != 70 {
+		t.Fatalf("arcs = %d, want 70 (paper's ISP topology)", g.NumEdges())
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("ISP backbone not strongly connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, e := range g.Edges() {
+		if e.Delay < 8 || e.Delay > 15 {
+			t.Fatalf("arc %d delay %.2f outside paper's 8-15ms range", e.ID, e.Delay)
+		}
+	}
+	if _, ok := g.NodeByName("Chicago"); !ok {
+		t.Fatal("Chicago missing from backbone")
+	}
+}
+
+func TestISPDelaysSymmetric(t *testing.T) {
+	g := ISPBackbone(500)
+	for _, e := range g.Edges() {
+		rev, ok := g.Reverse(e.ID)
+		if !ok {
+			t.Fatalf("arc %d has no reverse", e.ID)
+		}
+		if g.Edge(rev).Delay != e.Delay {
+			t.Fatalf("asymmetric delay on %d/%d", e.ID, rev)
+		}
+	}
+}
+
+func TestAssignUniformDelays(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	g, err := Random(20, 40, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AssignUniformDelays(g, MinSynthDelayMs, MaxSynthDelayMs, rng)
+	for _, e := range g.Edges() {
+		if e.Delay < MinSynthDelayMs || e.Delay > MaxSynthDelayMs {
+			t.Fatalf("arc %d delay %.2f outside [%.1f,%.1f]", e.ID, e.Delay, MinSynthDelayMs, MaxSynthDelayMs)
+		}
+		rev, _ := g.Reverse(e.ID)
+		if g.Edge(rev).Delay != e.Delay {
+			t.Fatalf("asymmetric delay on arc %d", e.ID)
+		}
+	}
+}
+
+func TestGreatCircle(t *testing.T) {
+	// New York <-> Los Angeles is roughly 3940 km.
+	d := greatCircleKm(40.71, -74.01, 34.05, -118.24)
+	if math.Abs(d-3940) > 100 {
+		t.Fatalf("NYC-LA distance = %.0f km, want ~3940", d)
+	}
+	if d := greatCircleKm(40, -100, 40, -100); d != 0 {
+		t.Fatalf("zero distance = %g", d)
+	}
+}

@@ -1,0 +1,63 @@
+package traffic
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"dualtopo/internal/graph"
+)
+
+// Demand-mix probabilities and uniform ranges from Eq. (7): 60% of nodes
+// originate low volumes, 35% medium, 5% high ("hot spots").
+var demandMix = []struct {
+	prob     float64
+	min, max float64
+}{
+	{0.60, 10, 50},
+	{0.35, 80, 130},
+	{0.05, 150, 200},
+}
+
+// Gravity generates the low-priority traffic matrix TL with the gravity
+// model of Eq. (6): r(s,t) = d_s · e^{V_t} / Σ_{i≠s} e^{V_i}, where d_s is
+// the total traffic originating at s (three-level mix of Eq. 7) and
+// V_t ~ U[1, 1.5] is node t's mass.
+func Gravity(n int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(n)
+	d := make([]float64, n)
+	for s := range d {
+		d[s] = sampleOrigin(rng)
+	}
+	mass := make([]float64, n)
+	for t := range mass {
+		mass[t] = math.Exp(1 + 0.5*rng.Float64())
+	}
+	totalMass := 0.0
+	for _, x := range mass {
+		totalMass += x
+	}
+	for s := 0; s < n; s++ {
+		denom := totalMass - mass[s]
+		for t := 0; t < n; t++ {
+			if t == s {
+				continue
+			}
+			m.Set(graph.NodeID(s), graph.NodeID(t), d[s]*mass[t]/denom)
+		}
+	}
+	return m
+}
+
+// sampleOrigin draws the total origin volume d_s per Eq. (7).
+func sampleOrigin(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	acc := 0.0
+	for _, level := range demandMix {
+		acc += level.prob
+		if u < acc {
+			return level.min + rng.Float64()*(level.max-level.min)
+		}
+	}
+	last := demandMix[len(demandMix)-1]
+	return last.min + rng.Float64()*(last.max-last.min)
+}

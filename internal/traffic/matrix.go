@@ -1,0 +1,129 @@
+// Package traffic implements the paper's traffic-matrix models (§5.1.2):
+// the gravity model for low-priority demand (Eq. 6–7), the random model for
+// high-priority demand (density k, volume fraction f, per-pair weights
+// m(s,t) ∈ [1,4]), and the sink model emulating popular servers with
+// uniformly or locally distributed clients.
+package traffic
+
+import (
+	"fmt"
+
+	"dualtopo/internal/graph"
+)
+
+// Matrix is a dense |V|×|V| traffic matrix in Mbps. The diagonal is always
+// zero: r(s,s) = 0 for all s.
+type Matrix struct {
+	n int
+	v []float64
+}
+
+// NewMatrix returns an all-zero n×n matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, v: make([]float64, n*n)}
+}
+
+// Size returns the node count n.
+func (m *Matrix) Size() int { return m.n }
+
+// At returns the demand from s to t.
+func (m *Matrix) At(s, t graph.NodeID) float64 { return m.v[int(s)*m.n+int(t)] }
+
+// Set assigns the demand from s to t. Setting a diagonal entry or a negative
+// volume panics: both indicate a generator bug.
+func (m *Matrix) Set(s, t graph.NodeID, vol float64) {
+	if s == t && vol != 0 {
+		panic(fmt.Sprintf("traffic: self-demand at node %d", s))
+	}
+	if vol < 0 {
+		panic(fmt.Sprintf("traffic: negative demand %g for (%d,%d)", vol, s, t))
+	}
+	m.v[int(s)*m.n+int(t)] = vol
+}
+
+// Add increases the demand from s to t by vol.
+func (m *Matrix) Add(s, t graph.NodeID, vol float64) { m.Set(s, t, m.At(s, t)+vol) }
+
+// Total returns the sum of all demands (ηH or ηL in the paper).
+func (m *Matrix) Total() float64 {
+	sum := 0.0
+	for _, x := range m.v {
+		sum += x
+	}
+	return sum
+}
+
+// Scale multiplies every demand by factor.
+func (m *Matrix) Scale(factor float64) {
+	if factor < 0 {
+		panic(fmt.Sprintf("traffic: negative scale %g", factor))
+	}
+	for i := range m.v {
+		m.v[i] *= factor
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.n)
+	copy(c.v, m.v)
+	return c
+}
+
+// Demand is one nonzero source-destination entry.
+type Demand struct {
+	Src, Dst graph.NodeID
+	Volume   float64
+}
+
+// Demands returns all nonzero entries in row-major order.
+func (m *Matrix) Demands() []Demand {
+	var out []Demand
+	for s := 0; s < m.n; s++ {
+		for t := 0; t < m.n; t++ {
+			if vol := m.v[s*m.n+t]; vol > 0 {
+				out = append(out, Demand{graph.NodeID(s), graph.NodeID(t), vol})
+			}
+		}
+	}
+	return out
+}
+
+// NumPairs reports the number of nonzero entries.
+func (m *Matrix) NumPairs() int {
+	count := 0
+	for _, x := range m.v {
+		if x > 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// DemandsTo returns the column of demands destined to t as a slice indexed
+// by source node (the layout SPF load aggregation consumes).
+func (m *Matrix) DemandsTo(t graph.NodeID, out []float64) []float64 {
+	if cap(out) < m.n {
+		out = make([]float64, m.n)
+	}
+	out = out[:m.n]
+	for s := 0; s < m.n; s++ {
+		out[s] = m.v[s*m.n+int(t)]
+	}
+	return out
+}
+
+// ActiveDestinations returns every node that is the destination of at least
+// one nonzero demand.
+func (m *Matrix) ActiveDestinations() []graph.NodeID {
+	var out []graph.NodeID
+	for t := 0; t < m.n; t++ {
+		for s := 0; s < m.n; s++ {
+			if m.v[s*m.n+t] > 0 {
+				out = append(out, graph.NodeID(t))
+				break
+			}
+		}
+	}
+	return out
+}
