@@ -9,7 +9,9 @@
 package dualtopo_test
 
 import (
+	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"dualtopo"
@@ -92,6 +94,40 @@ func BenchmarkTable1Relaxation(b *testing.B) { benchExperiment(b, "table1") }
 
 // Extension: single-link-failure robustness.
 func BenchmarkExtFailureRobustness(b *testing.B) { benchExperiment(b, "extfail") }
+
+// BenchmarkScenarioEngine measures campaign throughput (trials/sec) of the
+// bundled tiny campaign at 1, 4 and GOMAXPROCS engine workers, tracking how
+// the worker pool scales what-if execution.
+func BenchmarkScenarioEngine(b *testing.B) {
+	spec, ok := dualtopo.ScenarioPreset("tiny")
+	if !ok {
+		b.Fatal("tiny preset missing")
+	}
+	workerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		// Keep the work-list at least as wide as the pool, or the engine
+		// clamps the worker count and the sub-benchmarks collapse into one
+		// configuration.
+		spec.Trials = (workers + len(spec.Loads) - 1) / len(spec.Loads)
+		if spec.Trials < 2 {
+			spec.Trials = 2
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			trials := 0
+			for i := 0; i < b.N; i++ {
+				res, err := dualtopo.RunScenario(spec, dualtopo.ScenarioOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				trials += len(res.Trials)
+			}
+			b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/sec")
+		})
+	}
+}
 
 // benchInstance builds the standard 30-node random instance.
 func benchInstance(b *testing.B, kind dualtopo.ObjectiveKind) *dualtopo.Evaluator {

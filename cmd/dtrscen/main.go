@@ -1,0 +1,197 @@
+// Command dtrscen runs declarative what-if campaigns over dual-topology
+// routing through the scenario engine.
+//
+// Usage:
+//
+//	dtrscen list
+//	dtrscen validate spec.json [spec2.json ...]
+//	dtrscen run -preset tiny
+//	dtrscen run -preset random-load -budget small -workers 8
+//	dtrscen run -o results.jsonl my-campaign.json
+//
+// run streams one JSON line per completed trial (in deterministic work-list
+// order) to stdout or -o, reports progress on stderr, and finishes with a
+// per-load-point mean/p50/p95 summary table. Re-running the same spec with
+// the same seed yields identical trial records and aggregates regardless of
+// -workers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dualtopo/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtrscen: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "validate":
+		cmdValidate(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		log.Printf("unknown subcommand %q", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  dtrscen list                         list bundled campaign presets
+  dtrscen validate <spec.json>...      check spec files and print their shape
+  dtrscen run [flags] [<spec.json>...] execute campaigns
+
+run flags:
+`)
+	runFlags(nil).PrintDefaults()
+}
+
+// runFlags builds the run flag set; cfg receives parsed values when non-nil.
+type runConfig struct {
+	preset  string
+	budget  string
+	workers int
+	trials  int
+	seed    int64
+	out     string
+	quiet   bool
+}
+
+func runFlags(cfg *runConfig) *flag.FlagSet {
+	if cfg == nil {
+		cfg = &runConfig{}
+	}
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fs.StringVar(&cfg.preset, "preset", "", "bundled preset name (see 'dtrscen list')")
+	fs.StringVar(&cfg.budget, "budget", "", "override search budget tier: tiny|small|paper")
+	fs.IntVar(&cfg.workers, "workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.trials, "trials", 0, "override trials per load point")
+	fs.Int64Var(&cfg.seed, "seed", -1, "override campaign seed (-1 = keep spec's)")
+	fs.StringVar(&cfg.out, "o", "", "write JSON-lines trial records to this file instead of stdout")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress progress reporting")
+	return fs
+}
+
+func cmdList() {
+	for _, s := range scenario.Presets() {
+		n := s.Normalize()
+		fmt.Printf("%-24s %2d loads x %d trials  %s\n", s.Name, len(n.Loads), n.Trials, s.Description)
+	}
+}
+
+func cmdValidate(paths []string) {
+	if len(paths) == 0 {
+		log.Fatal("validate: no spec files given")
+	}
+	failed := false
+	for _, path := range paths {
+		spec, err := scenario.LoadFile(path)
+		if err == nil {
+			err = spec.Validate()
+		}
+		if err != nil {
+			failed = true
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			continue
+		}
+		n := spec.Normalize()
+		items := n.WorkList()
+		fmt.Printf("%s: ok: campaign %q, %d loads x %d trials = %d work items (budget %s)\n",
+			path, n.Name, len(n.Loads), n.Trials, len(items), n.Budget.Tier)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func cmdRun(args []string) {
+	var cfg runConfig
+	fs := runFlags(&cfg)
+	fs.Parse(args)
+
+	var specs []scenario.Spec
+	if cfg.preset != "" {
+		spec, ok := scenario.PresetByName(cfg.preset)
+		if !ok {
+			log.Fatalf("unknown preset %q; run 'dtrscen list'", cfg.preset)
+		}
+		specs = append(specs, spec)
+	}
+	for _, path := range fs.Args() {
+		spec, err := scenario.LoadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		log.Fatal("run: nothing to run; pass -preset and/or spec files")
+	}
+
+	out := os.Stdout
+	summaryOut := os.Stderr
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+		summaryOut = os.Stdout
+	}
+	enc := json.NewEncoder(out)
+
+	for _, spec := range specs {
+		if cfg.budget != "" {
+			spec.Budget.Tier = cfg.budget
+		}
+		if cfg.trials > 0 {
+			spec.Trials = cfg.trials
+		}
+		if cfg.seed >= 0 {
+			spec.Seed = uint64(cfg.seed)
+		}
+		if err := spec.Validate(); err != nil {
+			log.Fatal(err)
+		}
+
+		opts := scenario.Options{
+			Workers: cfg.workers,
+			OnTrial: func(tr scenario.TrialResult) {
+				if err := enc.Encode(tr); err != nil {
+					log.Fatal(err)
+				}
+			},
+		}
+		if !cfg.quiet {
+			opts.OnProgress = func(p scenario.Progress) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%s)   ",
+					spec.Normalize().Name, p.Done, p.Total, p.Elapsed.Round(time.Millisecond))
+			}
+		}
+		res, err := scenario.Run(spec, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !cfg.quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Fprintf(summaryOut, "== campaign %s: %d trials in %.0f ms ==\n%s\n",
+			res.Spec.Name, len(res.Trials), res.ElapsedMs, res.SummaryTable())
+	}
+}

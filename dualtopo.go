@@ -55,6 +55,7 @@ import (
 	"dualtopo/internal/graph"
 	"dualtopo/internal/ospf"
 	"dualtopo/internal/qsim"
+	"dualtopo/internal/scenario"
 	"dualtopo/internal/search"
 	"dualtopo/internal/spf"
 	"dualtopo/internal/topo"
@@ -278,6 +279,33 @@ type (
 // behind the SLA cost function by simulating a probe flow across a chain of
 // two-priority queues.
 func SimulatePath(cfg PathConfig) (*PathResult, error) { return qsim.SimulatePath(cfg) }
+
+// Scenario engine: declarative, parallel, deterministic what-if campaigns.
+type (
+	// Scenario is a declarative campaign spec (JSON-encodable).
+	Scenario = scenario.Spec
+	// ScenarioOptions configures campaign execution (workers, callbacks).
+	ScenarioOptions = scenario.Options
+	// ScenarioResult is a fully executed campaign with per-point aggregates.
+	ScenarioResult = scenario.CampaignResult
+	// ScenarioTrial is one completed trial of a campaign.
+	ScenarioTrial = scenario.TrialResult
+	// ScenarioProgress reports execution state after each completed trial.
+	ScenarioProgress = scenario.Progress
+)
+
+// RunScenario expands the campaign into its deterministic work-list and
+// executes it on a bounded worker pool. Aggregates depend only on the spec,
+// never on worker count or scheduling.
+func RunScenario(spec Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
+	return scenario.Run(spec, opts)
+}
+
+// ScenarioPresets returns the bundled campaign library.
+func ScenarioPresets() []Scenario { return scenario.Presets() }
+
+// ScenarioPreset resolves one bundled campaign by name.
+func ScenarioPreset(name string) (Scenario, bool) { return scenario.PresetByName(name) }
 
 // Experiments (§5).
 type (

@@ -1,0 +1,3 @@
+module dualtopo
+
+go 1.24

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"dualtopo/internal/render"
+	"dualtopo/internal/scenario"
 	"dualtopo/internal/search"
 )
 
@@ -34,29 +35,23 @@ type Preset struct {
 // Tiny returns the preset used by integration tests: real topologies, small
 // search budgets, two load points.
 func Tiny() Preset {
-	d := search.Defaults()
-	d.N, d.K, d.M, d.Neighbors, d.Workers = 120, 80, 40, 4, 1
-	s := search.STRDefaults()
-	s.Iterations, s.Candidates, s.M, s.Workers = 300, 4, 60, 1
-	return Preset{Name: "tiny", DTR: d, STR: s, Points: 2, Parallel: 2, Trials: 1}
+	b := scenario.TinyBudget()
+	return Preset{Name: "tiny", DTR: b.DTR, STR: b.STR, Points: 2, Parallel: 2, Trials: 1}
 }
 
 // Small returns the default preset for regenerating results: a few minutes
 // per figure on commodity hardware.
 func Small() Preset {
-	d := search.Defaults()
-	d.N, d.K, d.M, d.Workers = 2000, 1200, 300, 1
-	s := search.STRDefaults()
-	s.Iterations, s.Candidates, s.M, s.Workers = 6000, 5, 300, 1
-	return Preset{Name: "small", DTR: d, STR: s, Points: 5, Parallel: 2, Trials: 1}
+	b := scenario.SmallBudget()
+	return Preset{Name: "small", DTR: b.DTR, STR: b.STR, Points: 5, Parallel: 2, Trials: 1}
 }
 
-// PaperPreset returns the publication budgets of §5.1.3. Expect very long
-// runtimes; results in EXPERIMENTS.md use Small.
+// PaperPreset returns the publication budgets of §5.1.3 (N=300000, K=800000
+// as published). Expect very long runtimes; results in EXPERIMENTS.md use
+// Small.
 func PaperPreset() Preset {
-	d := search.Defaults() // N=300000, K=800000 as published
-	s := search.STRDefaults()
-	return Preset{Name: "paper", DTR: d, STR: s, Points: 7, Parallel: 2, Trials: 1}
+	b := scenario.PaperBudget()
+	return Preset{Name: "paper", DTR: b.DTR, STR: b.STR, Points: 7, Parallel: 2, Trials: 1}
 }
 
 // PresetByName resolves "tiny", "small" or "paper".

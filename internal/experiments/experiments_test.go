@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dualtopo/internal/eval"
+	"dualtopo/internal/scenario"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -69,22 +70,6 @@ func TestLinspace(t *testing.T) {
 	}
 }
 
-func TestInstanceSpecDefaults(t *testing.T) {
-	s := InstanceSpec{}
-	s.paperDefaults()
-	if s.Topology != TopoRandom || s.Nodes != 30 || s.Links != 75 {
-		t.Fatalf("defaults = %+v", s)
-	}
-	if s.F != 0.30 || s.K != 0.10 || s.ThetaMs != 25 {
-		t.Fatalf("defaults = %+v", s)
-	}
-	pl := InstanceSpec{Topology: TopoPowerLaw}
-	pl.paperDefaults()
-	if pl.Links != 81 {
-		t.Fatalf("power-law default links = %d, want 81", pl.Links)
-	}
-}
-
 func TestInstanceBuildScalesToTarget(t *testing.T) {
 	spec := InstanceSpec{Topology: TopoRandom, Kind: eval.LoadBased, TargetUtil: 0.6, Seed: 5}
 	inst, err := spec.Build()
@@ -140,15 +125,33 @@ func TestInstanceBuildDeterministic(t *testing.T) {
 	}
 }
 
-func TestCostRatio(t *testing.T) {
-	if got := costRatio(10, 5); got != 2 {
-		t.Fatalf("ratio = %v", got)
+// TestFig2aMatchesScenarioEngine drives the fig2a sweep both through the
+// experiment registry and directly through the scenario engine's point
+// runner, asserting identical reported metrics: the experiment layer is a
+// curated scenario, not a parallel implementation.
+func TestFig2aMatchesScenarioEngine(t *testing.T) {
+	p := Tiny()
+	rep, err := Run("fig2a", p)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := costRatio(0, 0); got != 1 {
-		t.Fatalf("0/0 = %v, want 1", got)
+	base := InstanceSpec{Topology: TopoRandom, Kind: eval.LoadBased}
+	specs := loadSweepSpecs(base, linspace(0.50, 0.90, p.Points), 201)
+	points, err := scenario.RunPoints(specs, scenario.Budget{DTR: p.DTR, STR: p.STR}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := costRatio(5, 0); !math.IsInf(got, 1) {
-		t.Fatalf("5/0 = %v, want +Inf", got)
+	if len(points) != len(rep.Series[0].Y) {
+		t.Fatalf("points = %d, series = %d", len(points), len(rep.Series[0].Y))
+	}
+	for i, pt := range points {
+		if rep.Series[0].Y[i] != pt.RH || rep.Series[1].Y[i] != pt.RL {
+			t.Errorf("point %d: experiment (RH=%v, RL=%v) != engine (RH=%v, RL=%v)",
+				i, rep.Series[0].Y[i], rep.Series[1].Y[i], pt.RH, pt.RL)
+		}
+		if rep.Series[0].X[i] != pt.MeasuredUtil {
+			t.Errorf("point %d: measured util %v != %v", i, rep.Series[0].X[i], pt.MeasuredUtil)
+		}
 	}
 }
 

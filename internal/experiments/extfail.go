@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"dualtopo/internal/eval"
-	"dualtopo/internal/graph"
-	"dualtopo/internal/spf"
+	"dualtopo/internal/scenario"
 	"dualtopo/internal/stats"
 )
 
@@ -19,57 +18,19 @@ func init() {
 
 // runExtFail is an extension beyond the paper (suggested by its resilience
 // related-work, [7-9]): how fragile are the optimized weight settings when a
-// link fails and OSPF reconverges with unchanged weights? For every single
-// bidirectional link failure we re-evaluate both schemes on the surviving
-// topology and report the distribution of low-priority cost degradation.
+// link fails and OSPF reconverges with unchanged weights? The scenario
+// engine's failure sweep re-evaluates both schemes on every surviving
+// topology; this runner reports the distribution of low-priority cost
+// degradation.
 func runExtFail(p Preset) (*Report, error) {
 	spec := InstanceSpec{Topology: TopoRandom, Kind: eval.LoadBased, TargetUtil: 0.6, Seed: 1101}
 	pt, err := runPoint(spec, p)
 	if err != nil {
 		return nil, err
 	}
-	inst, err := spec.Build()
+	fs, err := scenario.SingleLinkFailures(pt, 0)
 	if err != nil {
 		return nil, err
-	}
-	e, err := inst.Evaluator()
-	if err != nil {
-		return nil, err
-	}
-
-	baseSTR := pt.STR.Result.PhiL
-	baseDTR := pt.DTR.Result.PhiL
-
-	var strDegr, dtrDegr []float64
-	disconnected := 0
-	seen := map[graph.EdgeID]bool{}
-	for _, edge := range inst.G.Edges() {
-		if seen[edge.ID] {
-			continue
-		}
-		rev, ok := inst.G.Reverse(edge.ID)
-		if !ok {
-			continue
-		}
-		seen[edge.ID] = true
-		seen[rev] = true
-
-		strW := pt.STR.W.WithFailedArcs(edge.ID, rev)
-		strRes, errSTR := e.EvaluateSTR(strW)
-		dtrWH := pt.DTR.WH.WithFailedArcs(edge.ID, rev)
-		dtrWL := pt.DTR.WL.WithFailedArcs(edge.ID, rev)
-		dtrRes, errDTR := e.EvaluateDTR(dtrWH, dtrWL)
-		if errSTR != nil || errDTR != nil {
-			// The failure disconnected some demand; both schemes lose the
-			// same physical reachability, so skip the sample.
-			disconnected++
-			continue
-		}
-		strDegr = append(strDegr, strRes.PhiL/baseSTR)
-		dtrDegr = append(dtrDegr, dtrRes.PhiL/baseDTR)
-	}
-	if len(strDegr) == 0 {
-		return nil, fmt.Errorf("experiments: every failure disconnected the network")
 	}
 
 	row := func(name string, xs []float64) []string {
@@ -81,32 +42,20 @@ func runExtFail(p Preset) (*Report, error) {
 			fmt.Sprintf("%.2f", stats.Max(xs)),
 		}
 	}
-	// How often does DTR remain better than STR in absolute terms after the
-	// same failure?
-	dtrStillBetter := 0
-	for i := range strDegr {
-		if dtrDegr[i]*baseDTR <= strDegr[i]*baseSTR {
-			dtrStillBetter++
-		}
-	}
 	return &Report{
 		ID:    "extfail",
 		Title: "Extension: ΦL degradation under every single-link failure (weights unchanged)",
 		Tables: []TableBlock{{
-			Title:  fmt.Sprintf("degradation factor ΦL(failed)/ΦL(intact); %d failures, %d disconnecting", len(strDegr), disconnected),
+			Title:  fmt.Sprintf("degradation factor ΦL(failed)/ΦL(intact); %d failures, %d disconnecting", len(fs.STR), fs.Disconnecting),
 			Header: []string{"scheme", "mean", "median", "p90", "max"},
 			Rows: [][]string{
-				row("STR", strDegr),
-				row("DTR", dtrDegr),
+				row("STR", fs.STR),
+				row("DTR", fs.DTR),
 			},
 		}},
 		Notes: []string{
-			fmt.Sprintf("DTR keeps the lower absolute ΦL after %d/%d failures", dtrStillBetter, len(strDegr)),
+			fmt.Sprintf("DTR keeps the lower absolute ΦL after %d/%d failures", fs.DTRStillBetter(), len(fs.STR)),
 			"weights stay fixed across failures (OSPF reconverges on surviving links), as operators run between re-optimizations",
 		},
 	}, nil
 }
-
-// Ensure spf.Disabled round-trips the public surface (compile-time check
-// that WithFailedArcs stays part of Weights' API).
-var _ = spf.Weights.WithFailedArcs

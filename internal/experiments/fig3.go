@@ -23,12 +23,8 @@ func fig3Case(id, title string, kind eval.Kind, k float64, seed uint64) {
 			if err != nil {
 				return nil, err
 			}
-			inst, err := spec.Build()
-			if err != nil {
-				return nil, err
-			}
-			strUtil := pt.STR.Result.Utilization(inst.G)
-			dtrUtil := pt.DTR.Result.Utilization(inst.G)
+			strUtil := pt.STR.Result.Utilization(pt.Inst.G)
+			dtrUtil := pt.DTR.Result.Utilization(pt.Inst.G)
 			hi := stats.Max(strUtil)
 			if m := stats.Max(dtrUtil); m > hi {
 				hi = m

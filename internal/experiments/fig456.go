@@ -89,11 +89,7 @@ func runFig6(p Preset) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		inst, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
-		sorted := stats.SortedDescending(pt.STR.Result.HUtilization(inst.G))
+		sorted := stats.SortedDescending(pt.STR.Result.HUtilization(pt.Inst.G))
 		xs := make([]float64, len(sorted))
 		for j := range xs {
 			xs[j] = float64(j + 1)

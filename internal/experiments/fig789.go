@@ -41,10 +41,7 @@ func runFig7(p Preset) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	inst, err := spec.Build()
-	if err != nil {
-		return nil, err
-	}
+	inst := pt.Inst
 	strUtil := pt.STR.Result.Utilization(inst.G)
 	dtrUtil := pt.DTR.Result.Utilization(inst.G)
 	type linkPoint struct{ delay, str, dtr float64 }
@@ -118,12 +115,8 @@ func runFig9(p Preset) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		inst, err := spec.Build()
-		if err != nil {
-			return nil, err
-		}
-		sMax := pt.STR.Result.MaxUtilization(inst.G)
-		dMax := pt.DTR.Result.MaxUtilization(inst.G)
+		sMax := pt.STR.Result.MaxUtilization(pt.Inst.G)
+		dMax := pt.DTR.Result.MaxUtilization(pt.Inst.G)
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0f", theta),
 			fmt.Sprintf("%d", pt.STR.Result.Violations),

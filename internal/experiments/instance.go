@@ -1,190 +1,33 @@
 package experiments
 
-import (
-	"fmt"
-	"math/rand/v2"
+import "dualtopo/internal/scenario"
 
-	"dualtopo/internal/cost"
-	"dualtopo/internal/eval"
-	"dualtopo/internal/graph"
-	"dualtopo/internal/spf"
-	"dualtopo/internal/stats"
-	"dualtopo/internal/topo"
-	"dualtopo/internal/traffic"
-)
+// The problem-instance layer moved to internal/scenario, where the campaign
+// engine owns it; experiments keep their historical names as aliases so the
+// registered runners read as before. An experiment is now just a curated,
+// code-defined scenario.
 
 // Topology names accepted by InstanceSpec.
 const (
-	TopoRandom   = "random"
-	TopoPowerLaw = "powerlaw"
-	TopoISP      = "isp"
+	TopoRandom   = scenario.TopoRandom
+	TopoPowerLaw = scenario.TopoPowerLaw
+	TopoISP      = scenario.TopoISP
 )
 
 // High-priority traffic models accepted by InstanceSpec.
 const (
-	HPRandom      = "random"
-	HPSinkUniform = "sink-uniform"
-	HPSinkLocal   = "sink-local"
+	HPRandom      = scenario.HPRandom
+	HPSinkUniform = scenario.HPSinkUniform
+	HPSinkLocal   = scenario.HPSinkLocal
 )
 
-// InstanceSpec describes one experiment point's problem instance, mirroring
-// the evaluation settings of §5.1.
-type InstanceSpec struct {
-	Topology     string
-	Nodes, Links int // bidirectional links; ignored for the ISP topology
-	Kind         eval.Kind
-	ThetaMs      float64 // SLA bound; 0 means the paper default (25 ms)
-	F            float64 // high-priority volume fraction (f)
-	K            float64 // high-priority SD-pair density (k)
-	HPModel      string
-	Sinks        int // sink-model sink count; 0 means 3
-	TargetUtil   float64
-	Seed         uint64
-}
-
-// Instance is a fully built problem: topology, matrices, evaluator options.
-type Instance struct {
-	G      *graph.Graph
-	TH, TL *traffic.Matrix
-	Opts   eval.Options
-}
-
-// paperDefaults fills unset spec fields with §5.1 values.
-func (s *InstanceSpec) paperDefaults() {
-	if s.Topology == "" {
-		s.Topology = TopoRandom
-	}
-	if s.Nodes == 0 {
-		s.Nodes = 30
-	}
-	if s.Links == 0 {
-		switch s.Topology {
-		case TopoPowerLaw:
-			s.Links = 81 // 162 arcs
-		default:
-			s.Links = 75 // 150 arcs
-		}
-	}
-	if s.ThetaMs == 0 {
-		s.ThetaMs = 25
-	}
-	if s.F == 0 {
-		s.F = 0.30
-	}
-	if s.K == 0 {
-		s.K = 0.10
-	}
-	if s.HPModel == "" {
-		s.HPModel = HPRandom
-	}
-	if s.Sinks == 0 {
-		s.Sinks = 3
-	}
-	if s.TargetUtil == 0 {
-		s.TargetUtil = 0.6
-	}
-}
+type (
+	// InstanceSpec describes one experiment point's problem instance.
+	InstanceSpec = scenario.InstanceSpec
+	// Instance is a fully built problem: topology, matrices, options.
+	Instance = scenario.Instance
+)
 
 // describeSpec renders the spec's effective (defaulted) parameters for
 // report notes.
-func describeSpec(s InstanceSpec) string {
-	s.paperDefaults()
-	return fmt.Sprintf("topology=%s kind=%v f=%.0f%% k=%.0f%%",
-		s.Topology, s.Kind, s.F*100, s.K*100)
-}
-
-// Build constructs the instance: topology with capacities and delays,
-// gravity low-priority matrix, high-priority matrix per model, and both
-// matrices scaled so the unit-weight routing has the target average link
-// utilization (the paper "varies total traffic demand by scaling the
-// traffic matrix").
-func (s InstanceSpec) Build() (*Instance, error) {
-	s.paperDefaults()
-	rng := rand.New(rand.NewPCG(s.Seed, 0xd7a1))
-
-	var g *graph.Graph
-	var err error
-	switch s.Topology {
-	case TopoRandom:
-		g, err = topo.Random(s.Nodes, s.Links, topo.DefaultCapacity, rng)
-		if err == nil {
-			topo.AssignUniformDelays(g, topo.MinSynthDelayMs, topo.MaxSynthDelayMs, rng)
-		}
-	case TopoPowerLaw:
-		g, err = topo.PowerLaw(s.Nodes, s.Links, topo.DefaultCapacity, rng)
-		if err == nil {
-			topo.AssignUniformDelays(g, topo.MinSynthDelayMs, topo.MaxSynthDelayMs, rng)
-		}
-	case TopoISP:
-		g = topo.ISPBackbone(topo.DefaultCapacity)
-	default:
-		return nil, fmt.Errorf("experiments: unknown topology %q", s.Topology)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if err := g.RequireStronglyConnected(); err != nil {
-		return nil, err
-	}
-
-	n := g.NumNodes()
-	tl := traffic.Gravity(n, rng)
-	var th *traffic.Matrix
-	switch s.HPModel {
-	case HPRandom:
-		th, err = traffic.RandomHighPriority(n, s.K, s.F, tl.Total(), rng)
-	case HPSinkUniform:
-		th, err = traffic.SinkHighPriority(g, s.Sinks, s.K, s.F, tl.Total(), traffic.UniformClients, rng)
-	case HPSinkLocal:
-		th, err = traffic.SinkHighPriority(g, s.Sinks, s.K, s.F, tl.Total(), traffic.LocalClients, rng)
-	default:
-		return nil, fmt.Errorf("experiments: unknown HP model %q", s.HPModel)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	if err := scaleToUtilization(g, th, tl, s.TargetUtil); err != nil {
-		return nil, err
-	}
-
-	opts := eval.Options{Kind: s.Kind, SLA: cost.DefaultSLA()}
-	opts.SLA.ThetaMs = s.ThetaMs
-	return &Instance{G: g, TH: th, TL: tl, Opts: opts}, nil
-}
-
-// Evaluator builds the instance's evaluator.
-func (inst *Instance) Evaluator() (*eval.Evaluator, error) {
-	return eval.New(inst.G, inst.TH, inst.TL, inst.Opts)
-}
-
-// scaleToUtilization scales both matrices so the average link utilization
-// under unit-weight (hop count) routing equals target. Optimized routings
-// shift load but barely change the average, so the measured utilization of
-// the final STR solution — which experiments report as the paper does —
-// lands near the target.
-func scaleToUtilization(g *graph.Graph, th, tl *traffic.Matrix, target float64) error {
-	if target <= 0 {
-		return fmt.Errorf("experiments: target utilization %g <= 0", target)
-	}
-	w := spf.Uniform(g.NumEdges())
-	hLoads, err := spf.Loads(g, w, th)
-	if err != nil {
-		return err
-	}
-	lLoads, err := spf.Loads(g, w, tl)
-	if err != nil {
-		return err
-	}
-	utils := make([]float64, g.NumEdges())
-	for i := range utils {
-		utils[i] = (hLoads[i] + lLoads[i]) / g.Edge(graph.EdgeID(i)).Capacity
-	}
-	avg := stats.Mean(utils)
-	if avg <= 0 {
-		return fmt.Errorf("experiments: zero baseline utilization")
-	}
-	th.Scale(target / avg)
-	tl.Scale(target / avg)
-	return nil
-}
+func describeSpec(s InstanceSpec) string { return s.Describe() }

@@ -1,116 +1,29 @@
 package experiments
 
-import (
-	"fmt"
-	"math"
-	"sync"
+import "dualtopo/internal/scenario"
 
-	"dualtopo/internal/eval"
-	"dualtopo/internal/search"
-)
+// The sweep machinery runs on the scenario engine: experiments contribute
+// curated InstanceSpecs and figure-shaping, the engine contributes instance
+// construction, dual optimization and the worker pool.
 
 // Point is the outcome of optimizing one instance with both schemes.
-type Point struct {
-	Spec InstanceSpec
-	// MeasuredUtil is the average link utilization of the final STR
-	// solution, the paper's network-load reference (footnote 4).
-	MeasuredUtil float64
-	STR          *search.STRResult
-	DTR          *search.DTRResult
-	// RH and RL are the paper's cost ratios: class cost under STR divided
-	// by class cost under DTR (Fig. 2).
-	RH, RL float64
+type Point = scenario.Point
+
+// budget extracts the preset's search budgets in engine form.
+func (p Preset) budget() scenario.Budget {
+	return scenario.Budget{DTR: p.DTR, STR: p.STR}
 }
 
-// runPoint builds the instance and runs both searches. DTR warm-starts from
-// the STR solution: DTR evaluates {W, W} identically to STR's W, so the DTR
-// search can only improve on the baseline lexicographically. This removes
-// search-budget artifacts from the STR/DTR comparison (the paper's premise
-// is that DTR strictly generalizes STR).
+// runPoint builds the instance and runs both searches through the scenario
+// engine (DTR warm-started from the STR solution).
 func runPoint(spec InstanceSpec, p Preset) (*Point, error) {
-	inst, err := spec.Build()
-	if err != nil {
-		return nil, err
-	}
-	e, err := inst.Evaluator()
-	if err != nil {
-		return nil, err
-	}
-	strParams := p.STR
-	strParams.Seed = spec.Seed*2 + 1
-	strRes, err := search.STR(e, strParams)
-	if err != nil {
-		return nil, err
-	}
-	dtrParams := p.DTR
-	dtrParams.Seed = spec.Seed*2 + 2
-	dtrRes, err := search.DTRFrom(e, strRes.W, strRes.W, dtrParams)
-	if err != nil {
-		return nil, err
-	}
-	pt := &Point{
-		Spec:         spec,
-		MeasuredUtil: strRes.Result.AvgUtilization(inst.G),
-		STR:          strRes,
-		DTR:          dtrRes,
-	}
-	pt.RH = costRatio(primaryCost(spec.Kind, strRes.Result), primaryCost(spec.Kind, dtrRes.Result))
-	pt.RL = costRatio(strRes.Result.PhiL, dtrRes.Result.PhiL)
-	return pt, nil
-}
-
-// primaryCost extracts the class-H cost the paper ratios: ΦH for load-based
-// runs, Λ for SLA-based runs.
-func primaryCost(kind eval.Kind, r *eval.Result) float64 {
-	if kind == eval.SLABased {
-		return r.Lambda
-	}
-	return r.PhiH
-}
-
-// costRatio computes str/dtr, defining 0/0 as 1 (both schemes met the
-// objective perfectly, e.g. zero SLA penalty on both sides).
-func costRatio(str, dtr float64) float64 {
-	const tiny = 1e-12
-	if dtr <= tiny && str <= tiny {
-		return 1
-	}
-	if dtr <= tiny {
-		return math.Inf(1)
-	}
-	return str / dtr
+	return scenario.RunPoint(spec, p.budget())
 }
 
 // runSweep executes one point per spec, Preset.Parallel at a time,
 // preserving spec order in the result.
 func runSweep(specs []InstanceSpec, p Preset) ([]*Point, error) {
-	points := make([]*Point, len(specs))
-	errs := make([]error, len(specs))
-	parallel := p.Parallel
-	if parallel < 1 {
-		parallel = 1
-	}
-	if parallel > len(specs) {
-		parallel = len(specs)
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallel)
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec InstanceSpec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			points[i], errs[i] = runPoint(spec, p)
-		}(i, spec)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: point %d (%+v): %w", i, specs[i], err)
-		}
-	}
-	return points, nil
+	return scenario.RunPoints(specs, p.budget(), p.Parallel, nil)
 }
 
 // loadSweepSpecs builds one spec per target utilization.
@@ -121,7 +34,7 @@ func loadSweepSpecs(base InstanceSpec, targets []float64, seedBase uint64) []Ins
 		s.TargetUtil = target
 		// One topology/matrix family per sweep: same base seed, so only the
 		// scaling changes across points (as in the paper, which scales one
-		// matrix). The seed feeds search seeds via runPoint.
+		// matrix). The seed feeds search seeds via scenario.RunPoint.
 		s.Seed = seedBase
 		specs[i] = s
 	}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildTestGraph returns a small named graph with asymmetric arc attributes
+// so round-trip mismatches cannot hide behind symmetry.
+func buildTestGraph() *Graph {
+	g := New(4)
+	g.SetName(0, "sea")
+	g.SetName(1, "chi")
+	g.SetName(2, "nyc")
+	g.SetName(3, "atl")
+	g.AddLink(0, 1, 500, 8.5)
+	g.AddLink(1, 2, 1000, 4.25)
+	g.AddArc(2, 3, 250, 6)
+	g.AddArc(3, 0, 125, 12.75)
+	return g
+}
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := buildTestGraph()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Graph
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, &got) {
+		t.Fatalf("round trip changed graph:\nin  %+v\nout %+v", g, &got)
+	}
+	// Round-trip again from the decoded copy: the codec must be stable.
+	data2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-encoding differs:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestGraphWriteReadRoundTrip(t *testing.T) {
+	g := buildTestGraph()
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, got) {
+		t.Fatalf("Write/Read changed graph:\nin  %+v\nout %+v", g, got)
+	}
+}
+
+func TestGraphUnmarshalEmpty(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"nodes":[],"arcs":[]}`), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph = %v", &g)
+	}
+}
+
+func TestGraphUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", `{"nodes": [`},
+		{"wrong type", `{"nodes": 3}`},
+		{"from out of range", `{"nodes":["a","b"],"arcs":[{"from":2,"to":0,"capacity":1,"delay":0}]}`},
+		{"negative endpoint", `{"nodes":["a","b"],"arcs":[{"from":-1,"to":0,"capacity":1,"delay":0}]}`},
+		{"self loop", `{"nodes":["a","b"],"arcs":[{"from":1,"to":1,"capacity":1,"delay":0}]}`},
+		{"zero capacity", `{"nodes":["a","b"],"arcs":[{"from":0,"to":1,"capacity":0,"delay":0}]}`},
+		{"negative delay", `{"nodes":["a","b"],"arcs":[{"from":0,"to":1,"capacity":1,"delay":-2}]}`},
+	}
+	for _, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c.in), &g); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestGraphReadError(t *testing.T) {
+	if _, err := Read(strings.NewReader("[1,2,3]")); err == nil {
+		t.Fatal("non-graph JSON accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dualtopo/internal/render"
+	"dualtopo/internal/stats"
+)
+
+// Aggregate is the mean/p50/p95 summary of one metric across a point's
+// trials.
+type Aggregate struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+}
+
+func aggregate(xs []float64) Aggregate {
+	return Aggregate{
+		Mean: stats.Mean(xs),
+		P50:  stats.Quantile(xs, 0.5),
+		P95:  stats.Quantile(xs, 0.95),
+	}
+}
+
+// PointSummary aggregates one load point's trials over the paper's metrics.
+type PointSummary struct {
+	Point      int     `json:"point"`
+	TargetUtil float64 `json:"target_util"`
+	Trials     int     `json:"trials"`
+
+	MeasuredUtil Aggregate `json:"measured_util"`
+	RH           Aggregate `json:"rh"`
+	RL           Aggregate `json:"rl"`
+	// PhiH is the high-priority load cost of the DTR solution (identical to
+	// STR's when DTR cannot improve it; never worse, by warm-start).
+	PhiH    Aggregate `json:"phi_h"`
+	STRPhiL Aggregate `json:"str_phi_l"`
+	DTRPhiL Aggregate `json:"dtr_phi_l"`
+
+	STRMaxUtil Aggregate `json:"str_max_util"`
+	DTRMaxUtil Aggregate `json:"dtr_max_util"`
+
+	// Violation aggregates are only meaningful for SLA campaigns; they stay
+	// zero for load-based ones.
+	STRViolations Aggregate `json:"str_violations"`
+	DTRViolations Aggregate `json:"dtr_violations"`
+
+	// Failure degradation aggregates, present when the campaign evaluated
+	// link failures: the per-trial mean ΦL degradation factor of each
+	// scheme, aggregated across trials.
+	STRFailDegr *Aggregate `json:"str_fail_degradation,omitempty"`
+	DTRFailDegr *Aggregate `json:"dtr_fail_degradation,omitempty"`
+}
+
+// summarizePoints groups trials (already in work-list order) by point and
+// aggregates each metric.
+func summarizePoints(spec Spec, trials []TrialResult) []PointSummary {
+	byPoint := make([][]TrialResult, len(spec.Loads))
+	for _, tr := range trials {
+		byPoint[tr.Point] = append(byPoint[tr.Point], tr)
+	}
+	summaries := make([]PointSummary, 0, len(byPoint))
+	for p, group := range byPoint {
+		if len(group) == 0 {
+			continue
+		}
+		pick := func(f func(TrialResult) float64) Aggregate {
+			xs := make([]float64, len(group))
+			for i, tr := range group {
+				xs[i] = f(tr)
+			}
+			return aggregate(xs)
+		}
+		ps := PointSummary{
+			Point:      p,
+			TargetUtil: spec.Loads[p],
+			Trials:     len(group),
+
+			MeasuredUtil: pick(func(t TrialResult) float64 { return t.MeasuredUtil }),
+			RH:           pick(func(t TrialResult) float64 { return t.RH }),
+			RL:           pick(func(t TrialResult) float64 { return t.RL }),
+			PhiH:         pick(func(t TrialResult) float64 { return t.DTR.PhiH }),
+			STRPhiL:      pick(func(t TrialResult) float64 { return t.STR.PhiL }),
+			DTRPhiL:      pick(func(t TrialResult) float64 { return t.DTR.PhiL }),
+
+			STRMaxUtil: pick(func(t TrialResult) float64 { return t.STR.MaxUtil }),
+			DTRMaxUtil: pick(func(t TrialResult) float64 { return t.DTR.MaxUtil }),
+
+			STRViolations: pick(func(t TrialResult) float64 { return float64(t.STR.Violations) }),
+			DTRViolations: pick(func(t TrialResult) float64 { return float64(t.DTR.Violations) }),
+		}
+		if group[0].Failures != nil {
+			str := pick(func(t TrialResult) float64 { return t.Failures.STRMeanDegr })
+			dtr := pick(func(t TrialResult) float64 { return t.Failures.DTRMeanDegr })
+			ps.STRFailDegr = &str
+			ps.DTRFailDegr = &dtr
+		}
+		summaries = append(summaries, ps)
+	}
+	return summaries
+}
+
+// AggregatesJSON marshals only the deterministic per-point aggregates —
+// the payload the determinism guarantee covers (timing fields excluded).
+func (r *CampaignResult) AggregatesJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Points, "", "  ")
+}
+
+// SummaryTable renders the per-point aggregates as an aligned text table.
+func (r *CampaignResult) SummaryTable() string {
+	header := []string{
+		"pt", "load", "trials", "util",
+		"RH", "RL", "RL.p50", "RL.p95",
+		"phiH", "phiL.STR", "phiL.DTR",
+		"maxU.STR", "maxU.DTR",
+	}
+	sla := r.Spec.Objective.Kind == "sla"
+	failures := r.Spec.Failures.SingleLink
+	if sla {
+		header = append(header, "vio.STR", "vio.DTR")
+	}
+	if failures {
+		header = append(header, "fail.STR", "fail.DTR")
+	}
+	rows := make([][]string, 0, len(r.Points))
+	for _, ps := range r.Points {
+		row := []string{
+			fmt.Sprintf("%d", ps.Point),
+			fmt.Sprintf("%.2f", ps.TargetUtil),
+			fmt.Sprintf("%d", ps.Trials),
+			fmt.Sprintf("%.3f", ps.MeasuredUtil.Mean),
+			fmt.Sprintf("%.3f", ps.RH.Mean),
+			fmt.Sprintf("%.3f", ps.RL.Mean),
+			fmt.Sprintf("%.3f", ps.RL.P50),
+			fmt.Sprintf("%.3f", ps.RL.P95),
+			fmt.Sprintf("%.4g", ps.PhiH.Mean),
+			fmt.Sprintf("%.4g", ps.STRPhiL.Mean),
+			fmt.Sprintf("%.4g", ps.DTRPhiL.Mean),
+			fmt.Sprintf("%.3f", ps.STRMaxUtil.Mean),
+			fmt.Sprintf("%.3f", ps.DTRMaxUtil.Mean),
+		}
+		if sla {
+			row = append(row,
+				fmt.Sprintf("%.1f", ps.STRViolations.Mean),
+				fmt.Sprintf("%.1f", ps.DTRViolations.Mean))
+		}
+		if failures {
+			strF, dtrF := "n/a", "n/a"
+			if ps.STRFailDegr != nil {
+				strF = fmt.Sprintf("%.2f", ps.STRFailDegr.Mean)
+			}
+			if ps.DTRFailDegr != nil {
+				dtrF = fmt.Sprintf("%.2f", ps.DTRFailDegr.Mean)
+			}
+			row = append(row, strF, dtrF)
+		}
+		rows = append(rows, row)
+	}
+	return render.Table(header, rows)
+}

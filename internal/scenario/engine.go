@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dualtopo/internal/eval"
+	"dualtopo/internal/graph"
+)
+
+// ClassMetrics is one scheme's slice of the paper's metrics for one trial.
+type ClassMetrics struct {
+	PhiH        float64 `json:"phi_h"`
+	PhiL        float64 `json:"phi_l"`
+	Lambda      float64 `json:"lambda,omitempty"`
+	Violations  int     `json:"violations,omitempty"`
+	MaxUtil     float64 `json:"max_util"`
+	Evaluations int64   `json:"evaluations"`
+}
+
+func classMetrics(g *graph.Graph, r *eval.Result, evals int64) ClassMetrics {
+	return ClassMetrics{
+		PhiH:        r.PhiH,
+		PhiL:        r.PhiL,
+		Lambda:      r.Lambda,
+		Violations:  r.Violations,
+		MaxUtil:     r.MaxUtilization(g),
+		Evaluations: evals,
+	}
+}
+
+// TrialResult is one completed trial, the unit of the engine's JSON-lines
+// stream. All fields except ElapsedMs are deterministic functions of the
+// spec.
+type TrialResult struct {
+	Campaign     string          `json:"campaign"`
+	Point        int             `json:"point"`
+	TargetUtil   float64         `json:"target_util"`
+	Trial        int             `json:"trial"`
+	Seed         uint64          `json:"seed"`
+	ElapsedMs    float64         `json:"elapsed_ms"`
+	MeasuredUtil float64         `json:"measured_util"`
+	RH           float64         `json:"rh"`
+	RL           float64         `json:"rl"`
+	STR          ClassMetrics    `json:"str"`
+	DTR          ClassMetrics    `json:"dtr"`
+	Failures     *FailureSummary `json:"failures,omitempty"`
+}
+
+// Progress reports campaign execution state after each completed trial.
+type Progress struct {
+	Done, Total int
+	Elapsed     time.Duration
+}
+
+// Options configures campaign execution.
+type Options struct {
+	// Workers bounds concurrently executed trials; 0 means GOMAXPROCS.
+	Workers int
+	// OnTrial, when non-nil, receives every completed trial in work-list
+	// order (the engine buffers out-of-order completions), so streamed
+	// output is reproducible regardless of Workers.
+	OnTrial func(TrialResult)
+	// OnProgress, when non-nil, receives a progress update after each
+	// completion (in completion order).
+	OnProgress func(Progress)
+}
+
+// CampaignResult is a fully executed campaign.
+type CampaignResult struct {
+	Spec Spec `json:"spec"`
+	// Trials lists every trial in work-list order.
+	Trials []TrialResult `json:"trials"`
+	// Points aggregates the trials of each load point.
+	Points []PointSummary `json:"points"`
+	// ElapsedMs is wall-clock execution time.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// Run executes the campaign: it normalizes and validates the spec, expands
+// it into the deterministic work-list, runs trials on a bounded worker pool,
+// and aggregates per-point summaries. The aggregates depend only on the spec
+// (never on Workers or scheduling).
+func Run(spec Spec, opts Options) (*CampaignResult, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	budget, err := spec.ResolveBudget()
+	if err != nil {
+		return nil, err
+	}
+	items := spec.WorkList()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	start := time.Now()
+	results := make([]TrialResult, len(items))
+	errs := make([]error, len(items))
+	idxCh := make(chan int)
+	doneCh := make(chan int)
+	go func() {
+		for i := range items {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idxCh {
+				results[i], errs[i] = runTrial(spec, items[i], budget)
+				doneCh <- i
+			}
+		}()
+	}
+
+	// Collect completions, emitting OnTrial strictly in work-list order.
+	completed := make([]bool, len(items))
+	emitted := 0
+	for done := 0; done < len(items); done++ {
+		i := <-doneCh
+		completed[i] = true
+		for emitted < len(items) && completed[emitted] {
+			if errs[emitted] == nil && opts.OnTrial != nil {
+				opts.OnTrial(results[emitted])
+			}
+			emitted++
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{Done: done + 1, Total: len(items), Elapsed: time.Since(start)})
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s point %d trial %d: %w",
+				spec.Name, items[i].Point, items[i].Trial, err)
+		}
+	}
+
+	return &CampaignResult{
+		Spec:      spec,
+		Trials:    results,
+		Points:    summarizePoints(spec, results),
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// runTrial optimizes one work item and condenses it into a TrialResult.
+func runTrial(spec Spec, it WorkItem, b Budget) (TrialResult, error) {
+	start := time.Now()
+	pt, err := RunPoint(it.Spec, b)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	tr := TrialResult{
+		Campaign:     spec.Name,
+		Point:        it.Point,
+		TargetUtil:   it.Spec.TargetUtil,
+		Trial:        it.Trial,
+		Seed:         it.Spec.Seed,
+		MeasuredUtil: pt.MeasuredUtil,
+		RH:           pt.RH,
+		RL:           pt.RL,
+		STR:          classMetrics(pt.Inst.G, pt.STR.Result, pt.STR.Evaluations),
+		DTR:          classMetrics(pt.Inst.G, pt.DTR.Result, pt.DTR.Evaluations),
+	}
+	if spec.Failures.SingleLink {
+		fs, err := SingleLinkFailures(pt, spec.Failures.MaxLinks)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		tr.Failures = fs.Summary()
+	}
+	tr.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	return tr, nil
+}

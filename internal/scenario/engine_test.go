@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// fastSpec is a campaign small enough for unit tests: a real 30-node
+// topology but minimal search budgets.
+func fastSpec() Spec {
+	s := validSpec()
+	s.Name = "fast"
+	s.Loads = []float64{0.5, 0.7}
+	s.Trials = 2
+	s.Budget = BudgetSpec{Tier: "tiny", DTRIters: 30, DTRRefine: 20, STRIters: 60}
+	return s
+}
+
+// TestRunDeterministicAcrossWorkers is the engine's core contract: the same
+// spec must produce byte-identical aggregates at any worker count, and
+// across repeated runs.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var blobs [][]byte
+	var streams []string
+	for _, workers := range []int{1, 4, 1} { // 1 again: repeat-run check
+		var stream bytes.Buffer
+		res, err := Run(fastSpec(), Options{
+			Workers: workers,
+			OnTrial: func(tr TrialResult) {
+				// Timing varies run to run; everything else must not.
+				tr.ElapsedMs = 0
+				stream.WriteString(trKey(tr))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := res.AggregatesJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+		streams = append(streams, stream.String())
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Errorf("aggregates differ between workers=1 and workers=4:\n%s\nvs\n%s", blobs[0], blobs[1])
+	}
+	if !bytes.Equal(blobs[0], blobs[2]) {
+		t.Errorf("aggregates differ between repeated runs:\n%s\nvs\n%s", blobs[0], blobs[2])
+	}
+	if streams[0] != streams[1] || streams[0] != streams[2] {
+		t.Error("trial stream order/content depends on workers")
+	}
+}
+
+func trKey(tr TrialResult) string {
+	tr.ElapsedMs = 0
+	b, _ := json.Marshal(tr)
+	return string(b) + "\n"
+}
+
+// TestRunShapeAndCallbacks checks trial ordering, progress counting and the
+// summary shape.
+func TestRunShapeAndCallbacks(t *testing.T) {
+	spec := fastSpec()
+	var mu sync.Mutex
+	var order []int
+	progress := 0
+	res, err := Run(spec, Options{
+		Workers: 3,
+		OnTrial: func(tr TrialResult) {
+			mu.Lock()
+			order = append(order, tr.Point*spec.Trials+tr.Trial)
+			mu.Unlock()
+		},
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			progress++
+			if p.Total != 4 || p.Done < 1 || p.Done > 4 {
+				t.Errorf("bad progress %+v", p)
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4 {
+		t.Fatalf("trials = %d, want 4", len(res.Trials))
+	}
+	for i, want := range []int{0, 1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("OnTrial order = %v, want work-list order", order)
+		}
+	}
+	if progress != 4 {
+		t.Fatalf("progress callbacks = %d, want 4", progress)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	for i, ps := range res.Points {
+		if ps.Trials != 2 {
+			t.Errorf("point %d trials = %d, want 2", i, ps.Trials)
+		}
+		if ps.TargetUtil != spec.Loads[i] {
+			t.Errorf("point %d target = %g, want %g", i, ps.TargetUtil, spec.Loads[i])
+		}
+		// DTR warm-starts from STR, so RL >= 1 up to lexicographic ties and
+		// MeasuredUtil must be positive.
+		if ps.RL.Mean < 0.99 {
+			t.Errorf("point %d RL mean = %g, want >= ~1", i, ps.RL.Mean)
+		}
+		if ps.MeasuredUtil.Mean <= 0 {
+			t.Errorf("point %d measured util = %g", i, ps.MeasuredUtil.Mean)
+		}
+	}
+	if res.SummaryTable() == "" {
+		t.Fatal("empty summary table")
+	}
+}
+
+// TestRunWithFailures checks the failure sweep feeds trial records and
+// aggregates.
+func TestRunWithFailures(t *testing.T) {
+	spec := fastSpec()
+	spec.Topology.Family = TopoISP // small: 35 link failures per trial
+	spec.Loads = []float64{0.5}
+	spec.Trials = 1
+	spec.Failures = FailureSpec{SingleLink: true, MaxLinks: 6}
+	res, err := Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trials[0]
+	if tr.Failures == nil {
+		t.Fatal("no failure summary on trial")
+	}
+	if tr.Failures.Evaluated == 0 || tr.Failures.Evaluated > 6 {
+		t.Fatalf("evaluated = %d, want (0,6]", tr.Failures.Evaluated)
+	}
+	if tr.Failures.STRMeanDegr <= 0 || tr.Failures.DTRMeanDegr <= 0 {
+		t.Fatalf("degradations = %+v", tr.Failures)
+	}
+	if res.Points[0].STRFailDegr == nil || res.Points[0].DTRFailDegr == nil {
+		t.Fatal("failure aggregates missing from point summary")
+	}
+}
+
+// TestRunRejectsInvalidSpec ensures validation gates execution.
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	s := fastSpec()
+	s.Topology.Family = "mesh"
+	if _, err := Run(s, Options{}); err == nil {
+		t.Fatal("invalid spec executed")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := aggregate([]float64{1, 2, 3, 4, 5})
+	if a.Mean != 3 || a.P50 != 3 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	if a.P95 < 4.5 || a.P95 > 5 {
+		t.Fatalf("p95 = %g", a.P95)
+	}
+}

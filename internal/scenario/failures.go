@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dualtopo/internal/graph"
+	"dualtopo/internal/stats"
+)
+
+// FailureSamples holds the per-failure low-priority degradation factors of
+// one optimized point: ΦL(failed)/ΦL(intact) for each surviving single
+// bidirectional link failure, with weights unchanged (OSPF reconverges on
+// the surviving links, as operators run between re-optimizations).
+type FailureSamples struct {
+	// STR and DTR are parallel degradation-factor samples, one per
+	// evaluated failure.
+	STR, DTR []float64
+	// BaseSTR and BaseDTR are the intact-network ΦL baselines.
+	BaseSTR, BaseDTR float64
+	// Disconnecting counts failures that disconnected some demand (skipped:
+	// both schemes lose the same physical reachability).
+	Disconnecting int
+}
+
+// SingleLinkFailures re-evaluates pt's final weight settings under every
+// single bidirectional link failure (capped at max when max > 0). The
+// returned samples preserve link order, so results are deterministic.
+func SingleLinkFailures(pt *Point, max int) (*FailureSamples, error) {
+	e, err := pt.Inst.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	fs := &FailureSamples{
+		BaseSTR: pt.STR.Result.PhiL,
+		BaseDTR: pt.DTR.Result.PhiL,
+	}
+	seen := map[graph.EdgeID]bool{}
+	evaluated := 0
+	for _, edge := range pt.Inst.G.Edges() {
+		if seen[edge.ID] {
+			continue
+		}
+		rev, ok := pt.Inst.G.Reverse(edge.ID)
+		if !ok {
+			continue
+		}
+		seen[edge.ID] = true
+		seen[rev] = true
+		if max > 0 && evaluated >= max {
+			break
+		}
+		evaluated++
+
+		strW := pt.STR.W.WithFailedArcs(edge.ID, rev)
+		strRes, errSTR := e.EvaluateSTR(strW)
+		dtrWH := pt.DTR.WH.WithFailedArcs(edge.ID, rev)
+		dtrWL := pt.DTR.WL.WithFailedArcs(edge.ID, rev)
+		dtrRes, errDTR := e.EvaluateDTR(dtrWH, dtrWL)
+		if errSTR != nil || errDTR != nil {
+			fs.Disconnecting++
+			continue
+		}
+		fs.STR = append(fs.STR, strRes.PhiL/fs.BaseSTR)
+		fs.DTR = append(fs.DTR, dtrRes.PhiL/fs.BaseDTR)
+	}
+	if len(fs.STR) == 0 {
+		return nil, fmt.Errorf("scenario: every evaluated failure disconnected the network")
+	}
+	return fs, nil
+}
+
+// DTRStillBetter counts failures after which DTR keeps the lower absolute
+// ΦL despite both schemes degrading.
+func (fs *FailureSamples) DTRStillBetter() int {
+	n := 0
+	for i := range fs.STR {
+		if fs.DTR[i]*fs.BaseDTR <= fs.STR[i]*fs.BaseSTR {
+			n++
+		}
+	}
+	return n
+}
+
+// FailureSummary condenses FailureSamples for trial records and aggregates.
+type FailureSummary struct {
+	Evaluated     int     `json:"evaluated"`
+	Disconnecting int     `json:"disconnecting"`
+	STRMeanDegr   float64 `json:"str_mean_degradation"`
+	STRMaxDegr    float64 `json:"str_max_degradation"`
+	DTRMeanDegr   float64 `json:"dtr_mean_degradation"`
+	DTRMaxDegr    float64 `json:"dtr_max_degradation"`
+	// DTRStillBetter counts failures after which DTR keeps the lower
+	// absolute ΦL.
+	DTRStillBetter int `json:"dtr_still_better"`
+}
+
+// Summary condenses the samples.
+func (fs *FailureSamples) Summary() *FailureSummary {
+	return &FailureSummary{
+		Evaluated:      len(fs.STR) + fs.Disconnecting,
+		Disconnecting:  fs.Disconnecting,
+		STRMeanDegr:    stats.Mean(fs.STR),
+		STRMaxDegr:     stats.Max(fs.STR),
+		DTRMeanDegr:    stats.Mean(fs.DTR),
+		DTRMaxDegr:     stats.Max(fs.DTR),
+		DTRStillBetter: fs.DTRStillBetter(),
+	}
+}

@@ -1,0 +1,176 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"dualtopo/internal/eval"
+	"dualtopo/internal/search"
+)
+
+// Budget bundles the search budgets applied to every optimized instance.
+type Budget struct {
+	DTR search.Params
+	STR search.STRParams
+}
+
+// TinyBudget returns the integration-test budgets: real topologies, small
+// search budgets, single-threaded (and therefore bitwise-deterministic)
+// searches.
+func TinyBudget() Budget {
+	d := search.Defaults()
+	d.N, d.K, d.M, d.Neighbors, d.Workers = 120, 80, 40, 4, 1
+	s := search.STRDefaults()
+	s.Iterations, s.Candidates, s.M, s.Workers = 300, 4, 60, 1
+	return Budget{DTR: d, STR: s}
+}
+
+// SmallBudget returns the default laptop-scale budgets: a few minutes per
+// sweep on commodity hardware.
+func SmallBudget() Budget {
+	d := search.Defaults()
+	d.N, d.K, d.M, d.Workers = 2000, 1200, 300, 1
+	s := search.STRDefaults()
+	s.Iterations, s.Candidates, s.M, s.Workers = 6000, 5, 300, 1
+	return Budget{DTR: d, STR: s}
+}
+
+// PaperBudget returns the publication budgets of §5.1.3 (N=300000,
+// K=800000). Expect very long runtimes.
+func PaperBudget() Budget {
+	return Budget{DTR: search.Defaults(), STR: search.STRDefaults()}
+}
+
+// BudgetByName resolves "tiny", "small" or "paper".
+func BudgetByName(name string) (Budget, error) {
+	switch strings.ToLower(name) {
+	case "tiny":
+		return TinyBudget(), nil
+	case "small":
+		return SmallBudget(), nil
+	case "paper":
+		return PaperBudget(), nil
+	default:
+		return Budget{}, fmt.Errorf("scenario: unknown budget tier %q (tiny|small|paper)", name)
+	}
+}
+
+// Point is the outcome of optimizing one instance with both schemes.
+type Point struct {
+	Spec InstanceSpec
+	// Inst is the built problem instance the searches ran on; kept so
+	// downstream analyses (histograms, failure sweeps) need not rebuild it.
+	Inst *Instance
+	// MeasuredUtil is the average link utilization of the final STR
+	// solution, the paper's network-load reference (footnote 4).
+	MeasuredUtil float64
+	STR          *search.STRResult
+	DTR          *search.DTRResult
+	// RH and RL are the paper's cost ratios: class cost under STR divided
+	// by class cost under DTR (Fig. 2).
+	RH, RL float64
+}
+
+// RunPoint builds the instance and runs both searches. DTR warm-starts from
+// the STR solution: DTR evaluates {W, W} identically to STR's W, so the DTR
+// search can only improve on the baseline lexicographically. This removes
+// search-budget artifacts from the STR/DTR comparison (the paper's premise
+// is that DTR strictly generalizes STR).
+func RunPoint(spec InstanceSpec, b Budget) (*Point, error) {
+	inst, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	e, err := inst.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	strParams := b.STR
+	strParams.Seed = spec.Seed*2 + 1
+	strRes, err := search.STR(e, strParams)
+	if err != nil {
+		return nil, err
+	}
+	dtrParams := b.DTR
+	dtrParams.Seed = spec.Seed*2 + 2
+	dtrRes, err := search.DTRFrom(e, strRes.W, strRes.W, dtrParams)
+	if err != nil {
+		return nil, err
+	}
+	pt := &Point{
+		Spec:         spec,
+		Inst:         inst,
+		MeasuredUtil: strRes.Result.AvgUtilization(inst.G),
+		STR:          strRes,
+		DTR:          dtrRes,
+	}
+	pt.RH = costRatio(primaryCost(spec.Kind, strRes.Result), primaryCost(spec.Kind, dtrRes.Result))
+	pt.RL = costRatio(strRes.Result.PhiL, dtrRes.Result.PhiL)
+	return pt, nil
+}
+
+// RunPoints executes one point per spec on a pool of exactly `workers`
+// goroutines, preserving spec order in the result. onDone, when non-nil, is
+// called from worker goroutines as each point completes (in completion
+// order, not spec order).
+func RunPoints(specs []InstanceSpec, b Budget, workers int, onDone func(i int, pt *Point)) ([]*Point, error) {
+	points := make([]*Point, len(specs))
+	errs := make([]error, len(specs))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	idxCh := make(chan int)
+	go func() {
+		for i := range specs {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				points[i], errs[i] = RunPoint(specs[i], b)
+				if errs[i] == nil && onDone != nil {
+					onDone(i, points[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario: point %d (%+v): %w", i, specs[i], err)
+		}
+	}
+	return points, nil
+}
+
+// primaryCost extracts the class-H cost the paper ratios: ΦH for load-based
+// runs, Λ for SLA-based runs.
+func primaryCost(kind eval.Kind, r *eval.Result) float64 {
+	if kind == eval.SLABased {
+		return r.Lambda
+	}
+	return r.PhiH
+}
+
+// costRatio computes str/dtr, defining 0/0 as 1 (both schemes met the
+// objective perfectly, e.g. zero SLA penalty on both sides).
+func costRatio(str, dtr float64) float64 {
+	const tiny = 1e-12
+	if dtr <= tiny && str <= tiny {
+		return 1
+	}
+	if dtr <= tiny {
+		return math.Inf(1)
+	}
+	return str / dtr
+}

@@ -1,0 +1,119 @@
+package scenario
+
+// The bundled preset library: named, curated campaigns spanning the paper's
+// evaluation axes (topology family × traffic model × objective × failures),
+// runnable as `dtrscen run -preset <name>` without writing a spec file. All
+// presets default to the tiny budget tier; raise it with the CLI's -budget
+// flag (or a spec file) for publication-quality numbers.
+
+// presetLibrary lists the bundled campaigns in display order.
+var presetLibrary = []Spec{
+	{
+		Name:        "tiny",
+		Description: "smoke test: 30-node random topology, random HP traffic, load objective, 2 loads x 2 trials",
+		Topology:    TopologySpec{Family: TopoRandom},
+		Traffic:     TrafficSpec{HighModel: HPRandom},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.5, 0.7},
+		Trials:      2,
+		Seed:        1,
+	},
+	{
+		Name:        "random-load",
+		Description: "paper Fig 2(a) family: random topology, load objective, 5-point load sweep",
+		Topology:    TopologySpec{Family: TopoRandom},
+		Traffic:     TrafficSpec{HighModel: HPRandom},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.5, 0.6, 0.7, 0.8, 0.9},
+		Trials:      3,
+		Seed:        2,
+	},
+	{
+		Name:        "powerlaw-load",
+		Description: "paper Fig 2(b) family: power-law topology, load objective",
+		Topology:    TopologySpec{Family: TopoPowerLaw},
+		Traffic:     TrafficSpec{HighModel: HPRandom},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.4, 0.5, 0.6, 0.7, 0.8},
+		Trials:      3,
+		Seed:        3,
+	},
+	{
+		Name:        "isp-load",
+		Description: "paper Fig 2(c) family: 16-node ISP backbone, load objective",
+		Topology:    TopologySpec{Family: TopoISP},
+		Traffic:     TrafficSpec{HighModel: HPRandom},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.4, 0.5, 0.6, 0.7, 0.8},
+		Trials:      3,
+		Seed:        4,
+	},
+	{
+		Name:        "random-sla",
+		Description: "paper Fig 2(d) family: random topology, SLA objective (theta=25ms)",
+		Topology:    TopologySpec{Family: TopoRandom},
+		Traffic:     TrafficSpec{HighModel: HPRandom},
+		Objective:   ObjectiveSpec{Kind: "sla", ThetaMs: 25},
+		Loads:       []float64{0.5, 0.6, 0.7},
+		Trials:      3,
+		Seed:        5,
+	},
+	{
+		Name:        "sink-uniform-load",
+		Description: "paper Fig 8 family: sink HP model with uniformly placed clients, power-law topology",
+		Topology:    TopologySpec{Family: TopoPowerLaw},
+		Traffic:     TrafficSpec{HighModel: HPSinkUniform, F: 0.20, Sinks: 3},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.4, 0.6, 0.8},
+		Trials:      3,
+		Seed:        6,
+	},
+	{
+		Name:        "sink-local-isp-failures",
+		Description: "what-if: sink HP model with sink-local clients on the ISP backbone, plus every single-link failure",
+		Topology:    TopologySpec{Family: TopoISP},
+		Traffic:     TrafficSpec{HighModel: HPSinkLocal, F: 0.20, Sinks: 3},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.5, 0.7},
+		Trials:      3,
+		Seed:        7,
+		Failures:    FailureSpec{SingleLink: true},
+	},
+	{
+		Name:        "powerlaw-sla-failures",
+		Description: "what-if: SLA objective on the power-law topology under every single-link failure",
+		Topology:    TopologySpec{Family: TopoPowerLaw},
+		Traffic:     TrafficSpec{HighModel: HPRandom},
+		Objective:   ObjectiveSpec{Kind: "sla", ThetaMs: 25},
+		Loads:       []float64{0.5, 0.6},
+		Trials:      3,
+		Seed:        8,
+		Failures:    FailureSpec{SingleLink: true},
+	},
+}
+
+// Presets returns the bundled campaign library in display order. Every spec
+// is deep-copied; callers may modify the result freely.
+func Presets() []Spec {
+	out := make([]Spec, len(presetLibrary))
+	for i, s := range presetLibrary {
+		out[i] = s.clone()
+	}
+	return out
+}
+
+// clone deep-copies the spec (Loads is its only reference field).
+func (s Spec) clone() Spec {
+	s.Loads = append([]float64(nil), s.Loads...)
+	return s
+}
+
+// PresetByName resolves one bundled campaign (deep-copied, like Presets).
+func PresetByName(name string) (Spec, bool) {
+	for _, s := range presetLibrary {
+		if s.Name == name {
+			return s.clone(), true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,26 @@
+package scenario
+
+// Splittable seeding: every trial of a campaign draws from its own
+// statistically independent random stream, derived purely from (campaign
+// seed, point index, trial index). No global RNG is consulted anywhere, and
+// no seed is shared between trials, so the work-list can execute in any
+// order — and on any number of workers — without changing a single result.
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA'14),
+// a bijective mixer whose outputs pass BigCrush even on sequential inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SubSeed derives the sub-seed of trial (point, trial) from the campaign
+// root seed. Distinct (root, point, trial) triples map to distinct,
+// well-mixed seeds; identical triples always map to the same seed.
+func SubSeed(root uint64, point, trial int) uint64 {
+	h := splitmix64(root)
+	h = splitmix64(h ^ (uint64(point)+1)*0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ (uint64(trial)+1)*0xd1b54a32d192ed03)
+	return h
+}

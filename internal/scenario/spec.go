@@ -1,0 +1,275 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dualtopo/internal/eval"
+)
+
+// Spec is a declarative what-if campaign: one topology/traffic/objective
+// configuration swept over a set of network loads, each load point averaged
+// over independent trials. The zero values of optional fields resolve to the
+// paper's §5.1 settings via Normalize.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	Topology  TopologySpec  `json:"topology"`
+	Traffic   TrafficSpec   `json:"traffic"`
+	Objective ObjectiveSpec `json:"objective"`
+
+	// Loads is the target average-utilization sweep; empty means [0.6].
+	Loads []float64 `json:"loads,omitempty"`
+	// Trials is the number of independently seeded repetitions per load
+	// point; 0 means 1.
+	Trials int `json:"trials,omitempty"`
+	// Seed is the campaign root seed; every trial derives its own sub-seed
+	// from it (see SubSeed).
+	Seed uint64 `json:"seed,omitempty"`
+
+	Budget   BudgetSpec  `json:"budget,omitempty"`
+	Failures FailureSpec `json:"failures,omitempty"`
+}
+
+// TopologySpec selects the topology family and size.
+type TopologySpec struct {
+	// Family is "random", "powerlaw" or "isp".
+	Family string `json:"family"`
+	// Nodes and Links size synthetic families; both are ignored for "isp"
+	// and default to the paper's 30 nodes / 75 (random) or 81 (powerlaw)
+	// bidirectional links.
+	Nodes int `json:"nodes,omitempty"`
+	Links int `json:"links,omitempty"`
+	// CapacityMbps is the per-arc capacity; 0 means the paper's 500.
+	CapacityMbps float64 `json:"capacity_mbps,omitempty"`
+}
+
+// TrafficSpec selects the traffic matrices of both classes. The low-priority
+// class always follows the gravity model (Eq. 6-7); HighModel picks the
+// high-priority overlay.
+type TrafficSpec struct {
+	// HighModel is "random", "sink-uniform" or "sink-local".
+	HighModel string `json:"high_model"`
+	// F is the high-priority volume fraction; 0 means 30%.
+	F float64 `json:"f,omitempty"`
+	// K is the high-priority SD-pair density; 0 means 10%.
+	K float64 `json:"k,omitempty"`
+	// Sinks is the sink-model sink count; 0 means 3.
+	Sinks int `json:"sinks,omitempty"`
+}
+
+// ObjectiveSpec selects the cost function family of §3.
+type ObjectiveSpec struct {
+	// Kind is "load" (Fortz-Thorup with residual capacities) or "sla"
+	// (delay-bound penalties).
+	Kind string `json:"kind"`
+	// ThetaMs is the SLA delay bound; 0 means 25 ms. Ignored for "load".
+	ThetaMs float64 `json:"theta_ms,omitempty"`
+}
+
+// BudgetSpec scales the search effort spent on every trial.
+type BudgetSpec struct {
+	// Tier is "tiny", "small" or "paper"; empty means "tiny".
+	Tier string `json:"tier,omitempty"`
+	// DTRIters, DTRRefine and STRIters override the tier's N, K and
+	// Iterations budgets when positive.
+	DTRIters  int `json:"dtr_iters,omitempty"`
+	DTRRefine int `json:"dtr_refine,omitempty"`
+	STRIters  int `json:"str_iters,omitempty"`
+	// SearchWorkers overrides the tier's per-search parallelism when
+	// positive. Campaign-level parallelism (Options.Workers) composes with
+	// this; tiers default to single-threaded searches so that trials, not
+	// neighbor evaluations, saturate the machine.
+	SearchWorkers int `json:"search_workers,omitempty"`
+}
+
+// FailureSpec enables post-optimization robustness evaluation: every single
+// bidirectional link failure is applied to the final weight settings (OSPF
+// reconverges on surviving links, weights unchanged) and the low-priority
+// cost degradation of both schemes is recorded.
+type FailureSpec struct {
+	SingleLink bool `json:"single_link,omitempty"`
+	// MaxLinks caps evaluated failures per trial; 0 means every link.
+	MaxLinks int `json:"max_links,omitempty"`
+}
+
+// objectiveKinds maps the JSON kind names onto eval.Kind (matching
+// eval.Kind.String()).
+var objectiveKinds = map[string]eval.Kind{
+	"load": eval.LoadBased,
+	"sla":  eval.SLABased,
+}
+
+// Normalize returns a copy of s with every optional field resolved to its
+// default, so that Validate, WorkList and Run all see the same effective
+// campaign.
+func (s Spec) Normalize() Spec {
+	if s.Topology.Family == "" {
+		s.Topology.Family = TopoRandom
+	}
+	if s.Traffic.HighModel == "" {
+		s.Traffic.HighModel = HPRandom
+	}
+	if s.Objective.Kind == "" {
+		s.Objective.Kind = "load"
+	}
+	if len(s.Loads) == 0 {
+		s.Loads = []float64{0.6}
+	}
+	if s.Trials == 0 {
+		s.Trials = 1
+	}
+	if s.Budget.Tier == "" {
+		s.Budget.Tier = "tiny"
+	}
+	return s
+}
+
+// Validate reports the first invalid field of the normalized spec.
+func (s Spec) Validate() error {
+	s = s.Normalize()
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	switch s.Topology.Family {
+	case TopoRandom, TopoPowerLaw, TopoISP:
+	default:
+		return fmt.Errorf("scenario: unknown topology family %q (random|powerlaw|isp)", s.Topology.Family)
+	}
+	if s.Topology.Nodes < 0 || s.Topology.Links < 0 || s.Topology.CapacityMbps < 0 {
+		return fmt.Errorf("scenario: negative topology size or capacity")
+	}
+	switch s.Traffic.HighModel {
+	case HPRandom, HPSinkUniform, HPSinkLocal:
+	default:
+		return fmt.Errorf("scenario: unknown high-priority model %q (random|sink-uniform|sink-local)", s.Traffic.HighModel)
+	}
+	if s.Traffic.F < 0 || s.Traffic.F > 1 {
+		return fmt.Errorf("scenario: high-priority fraction f=%g outside [0,1]", s.Traffic.F)
+	}
+	if s.Traffic.K < 0 || s.Traffic.K > 1 {
+		return fmt.Errorf("scenario: SD-pair density k=%g outside [0,1]", s.Traffic.K)
+	}
+	if s.Traffic.Sinks < 0 {
+		return fmt.Errorf("scenario: negative sink count %d", s.Traffic.Sinks)
+	}
+	if _, ok := objectiveKinds[s.Objective.Kind]; !ok {
+		return fmt.Errorf("scenario: unknown objective kind %q (load|sla)", s.Objective.Kind)
+	}
+	if s.Objective.ThetaMs < 0 {
+		return fmt.Errorf("scenario: negative SLA bound %g ms", s.Objective.ThetaMs)
+	}
+	for i, load := range s.Loads {
+		if load <= 0 || load > 2 {
+			return fmt.Errorf("scenario: load point %d is %g, want (0,2]", i, load)
+		}
+	}
+	if s.Trials < 1 || s.Trials > 10000 {
+		return fmt.Errorf("scenario: %d trials outside [1,10000]", s.Trials)
+	}
+	if _, err := BudgetByName(s.Budget.Tier); err != nil {
+		return err
+	}
+	if s.Budget.DTRIters < 0 || s.Budget.DTRRefine < 0 || s.Budget.STRIters < 0 || s.Budget.SearchWorkers < 0 {
+		return fmt.Errorf("scenario: negative budget override")
+	}
+	if s.Failures.MaxLinks < 0 {
+		return fmt.Errorf("scenario: negative failure cap %d", s.Failures.MaxLinks)
+	}
+	return nil
+}
+
+// ResolveBudget materializes the spec's budget tier plus overrides.
+func (s Spec) ResolveBudget() (Budget, error) {
+	s = s.Normalize()
+	b, err := BudgetByName(s.Budget.Tier)
+	if err != nil {
+		return Budget{}, err
+	}
+	if s.Budget.DTRIters > 0 {
+		b.DTR.N = s.Budget.DTRIters
+	}
+	if s.Budget.DTRRefine > 0 {
+		b.DTR.K = s.Budget.DTRRefine
+	}
+	if s.Budget.STRIters > 0 {
+		b.STR.Iterations = s.Budget.STRIters
+	}
+	if s.Budget.SearchWorkers > 0 {
+		b.DTR.Workers = s.Budget.SearchWorkers
+		b.STR.Workers = s.Budget.SearchWorkers
+	}
+	return b, nil
+}
+
+// WorkItem is one trial of the expanded campaign.
+type WorkItem struct {
+	// Index is the item's position in the deterministic work-list order
+	// (point-major, then trial).
+	Index int
+	// Point indexes Spec.Loads; Trial counts repetitions within the point.
+	Point, Trial int
+	// Spec is the fully derived problem instance, including its sub-seed.
+	Spec InstanceSpec
+}
+
+// WorkList expands the normalized spec into its deterministic work-list:
+// one item per (load point, trial), each with a SplitMix64-derived sub-seed.
+func (s Spec) WorkList() []WorkItem {
+	s = s.Normalize()
+	kind := objectiveKinds[s.Objective.Kind]
+	items := make([]WorkItem, 0, len(s.Loads)*s.Trials)
+	for p, load := range s.Loads {
+		for t := 0; t < s.Trials; t++ {
+			items = append(items, WorkItem{
+				Index: len(items),
+				Point: p,
+				Trial: t,
+				Spec: InstanceSpec{
+					Topology:   s.Topology.Family,
+					Nodes:      s.Topology.Nodes,
+					Links:      s.Topology.Links,
+					Capacity:   s.Topology.CapacityMbps,
+					Kind:       kind,
+					ThetaMs:    s.Objective.ThetaMs,
+					F:          s.Traffic.F,
+					K:          s.Traffic.K,
+					HPModel:    s.Traffic.HighModel,
+					Sinks:      s.Traffic.Sinks,
+					TargetUtil: load,
+					Seed:       SubSeed(s.Seed, p, t),
+				},
+			})
+		}
+	}
+	return items
+}
+
+// Load decodes one spec from JSON, rejecting unknown fields so typos in
+// hand-written campaign files fail loudly.
+func Load(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode spec: %w", err)
+	}
+	return s, nil
+}
+
+// LoadFile decodes one spec from a JSON file.
+func LoadFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	s, err := Load(bytes.NewReader(data))
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
