@@ -13,6 +13,7 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"testing"
+	"time"
 
 	"dualtopo"
 )
@@ -318,6 +319,142 @@ func BenchmarkObjectiveSTRSLA(b *testing.B) {
 		if _, err := ev.ObjectiveSTR(w); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSPFTree pins the cost and allocation count of one CSR-based
+// single-destination shortest-path computation (steady state: zero allocs).
+func BenchmarkSPFTree(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	g, err := dualtopo.RandomTopology(100, 250, dualtopo.DefaultCapacity, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := dualtopo.NewSPFComputer(g)
+	w := dualtopo.UniformWeights(g.NumEdges())
+	var tr dualtopo.SPFTree
+	comp.Tree(0, w, &tr) // warm the tree's buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp.Tree(0, w, &tr)
+	}
+}
+
+// BenchmarkDeltaVsFullRoute compares a full re-route of every destination
+// against the incremental DeltaRouter for single-arc weight changes on the
+// largest bundled topology — the paper's standard 30-node, 150-arc random
+// instance with a gravity matrix activating every destination. The speedup
+// sub-benchmark reports the full/delta ratio directly.
+func BenchmarkDeltaVsFullRoute(b *testing.B) {
+	build := func(b *testing.B) (*dualtopo.Graph, *dualtopo.TrafficMatrix, dualtopo.Weights) {
+		b.Helper()
+		rng := rand.New(rand.NewPCG(21, 21))
+		g, err := dualtopo.RandomTopology(30, 75, dualtopo.DefaultCapacity, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dualtopo.AssignUniformDelays(g, 1.2, 15, rng)
+		tm := dualtopo.GravityMatrix(g.NumNodes(), rng)
+		w := dualtopo.UniformWeights(g.NumEdges())
+		for i := range w {
+			w[i] = 1 + rng.IntN(20)
+		}
+		return g, tm, w
+	}
+	// Each iteration moves one arc's weight by ±1 — the FindH/FindL step
+	// size — cycling through the arcs, and re-evaluates all per-arc loads.
+	step := func(w dualtopo.Weights, base dualtopo.Weights, i, m int) int {
+		arc := i % m
+		if w[arc] == base[arc] {
+			w[arc] = base[arc] + 1
+		} else {
+			w[arc] = base[arc]
+		}
+		return arc
+	}
+	b.Run("full", func(b *testing.B) {
+		g, tm, w := build(b)
+		base := w.Clone()
+		plan := dualtopo.NewRoutingPlan(g, tm)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step(w, base, i, g.NumEdges())
+			if err := plan.Route(w, tm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		g, tm, w := build(b)
+		base := w.Clone()
+		dr := dualtopo.NewDeltaRouter(g, tm)
+		if err := dr.Route(w); err != nil {
+			b.Fatal(err)
+		}
+		changed := make([]dualtopo.EdgeID, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			changed[0] = dualtopo.EdgeID(step(w, base, i, g.NumEdges()))
+			if _, err := dr.Apply(w, changed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// speedup interleaves both engines over the identical change sequence
+	// and reports the wall-clock ratio as a metric.
+	b.Run("speedup", func(b *testing.B) {
+		g, tm, w := build(b)
+		base := w.Clone()
+		plan := dualtopo.NewRoutingPlan(g, tm)
+		dr := dualtopo.NewDeltaRouter(g, tm)
+		if err := dr.Route(w); err != nil {
+			b.Fatal(err)
+		}
+		changed := make([]dualtopo.EdgeID, 1)
+		var tFull, tDelta time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			changed[0] = dualtopo.EdgeID(step(w, base, i, g.NumEdges()))
+			t0 := time.Now()
+			if err := plan.Route(w, tm); err != nil {
+				b.Fatal(err)
+			}
+			t1 := time.Now()
+			if _, err := dr.Apply(w, changed); err != nil {
+				b.Fatal(err)
+			}
+			tFull += t1.Sub(t0)
+			tDelta += time.Since(t1)
+		}
+		b.ReportMetric(float64(tFull)/float64(tDelta), "full/delta-x")
+	})
+}
+
+// BenchmarkDTRSearch pins the Algorithm 1 search cost with incremental
+// candidate evaluation (default) against forced full evaluation, allocation
+// counts included.
+func BenchmarkDTRSearch(b *testing.B) {
+	for _, mode := range []string{"delta", "full"} {
+		b.Run(mode, func(b *testing.B) {
+			ev := benchInstance(b, dualtopo.LoadBased)
+			p := dualtopo.DTRDefaults()
+			p.N, p.K, p.M, p.Workers = 300, 200, 80, 1
+			p.FullEval = mode == "full"
+			var phiL float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := dualtopo.OptimizeDTR(ev, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phiL = res.Result.PhiL
+			}
+			b.ReportMetric(phiL, "PhiL")
+		})
 	}
 }
 

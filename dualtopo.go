@@ -144,7 +144,21 @@ type (
 	Weights = spf.Weights
 	// RoutingPlan routes one traffic matrix and answers delay queries.
 	RoutingPlan = spf.Plan
+	// DeltaRouter incrementally maintains routing trees and loads under
+	// evolving weights, recomputing only invalidated destinations.
+	DeltaRouter = spf.DeltaRouter
+	// DeltaRouterStats counts incremental-engine work (trees reused vs
+	// recomputed, full-route fallbacks).
+	DeltaRouterStats = spf.DeltaStats
+	// SPFComputer runs repeated single-destination shortest-path
+	// computations over one graph, reusing buffers.
+	SPFComputer = spf.Computer
+	// SPFTree is one destination's shortest-path DAG.
+	SPFTree = spf.Tree
 )
+
+// NewSPFComputer returns a single-destination SPF computer for g.
+func NewSPFComputer(g *Graph) *SPFComputer { return spf.NewComputer(g) }
 
 // UniformWeights returns unit weights (hop-count routing).
 func UniformWeights(n int) Weights { return spf.Uniform(n) }
@@ -156,6 +170,17 @@ func RouteLoads(g *Graph, w Weights, tm *TrafficMatrix) ([]float64, error) {
 
 // NewRoutingPlan prepares repeated routing of tm's destinations.
 func NewRoutingPlan(g *Graph, tm *TrafficMatrix) *RoutingPlan { return spf.NewPlan(g, tm) }
+
+// NewDeltaRouter prepares incremental routing of the given matrices'
+// destinations. Call Route once, then Apply per weight change; results are
+// bitwise-equal to routing from scratch.
+func NewDeltaRouter(g *Graph, tms ...*TrafficMatrix) *DeltaRouter {
+	return spf.NewDeltaRouter(g, tms...)
+}
+
+// DisabledWeight is the sentinel weight that removes an arc from routing
+// (link failure).
+const DisabledWeight = spf.Disabled
 
 // Objectives (§3).
 type (

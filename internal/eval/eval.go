@@ -98,40 +98,64 @@ func (r *Result) LinkCost(id graph.EdgeID) cost.Lex {
 	return cost.Lex{Primary: r.LinkPhiH[id], Secondary: r.LinkPhiL[id]}
 }
 
-// Utilization returns per-arc total utilization (H+L)/C.
-func (r *Result) Utilization(g *graph.Graph) []float64 {
-	u := make([]float64, len(r.HLoads))
-	for i := range u {
-		u[i] = (r.HLoads[i] + r.LLoads[i]) / g.Edge(graph.EdgeID(i)).Capacity
+// UtilizationInto fills buf (reallocating only when too small) with per-arc
+// total utilization (H+L)/C and returns it. Aggregators running once per
+// trial per sweep point use this to avoid a per-call allocation.
+func (r *Result) UtilizationInto(g *graph.Graph, buf []float64) []float64 {
+	capacity := g.CSR().Capacity
+	if len(buf) < len(r.HLoads) {
+		buf = make([]float64, len(r.HLoads))
 	}
-	return u
+	buf = buf[:len(r.HLoads)]
+	for i := range buf {
+		buf[i] = (r.HLoads[i] + r.LLoads[i]) / capacity[i]
+	}
+	return buf
 }
 
-// HUtilization returns per-arc high-priority utilization H/C.
-func (r *Result) HUtilization(g *graph.Graph) []float64 {
-	u := make([]float64, len(r.HLoads))
-	for i := range u {
-		u[i] = r.HLoads[i] / g.Edge(graph.EdgeID(i)).Capacity
+// Utilization returns per-arc total utilization (H+L)/C in a fresh slice.
+func (r *Result) Utilization(g *graph.Graph) []float64 {
+	return r.UtilizationInto(g, nil)
+}
+
+// HUtilizationInto fills buf with per-arc high-priority utilization H/C.
+func (r *Result) HUtilizationInto(g *graph.Graph, buf []float64) []float64 {
+	capacity := g.CSR().Capacity
+	if len(buf) < len(r.HLoads) {
+		buf = make([]float64, len(r.HLoads))
 	}
-	return u
+	buf = buf[:len(r.HLoads)]
+	for i := range buf {
+		buf[i] = r.HLoads[i] / capacity[i]
+	}
+	return buf
+}
+
+// HUtilization returns per-arc high-priority utilization H/C in a fresh
+// slice.
+func (r *Result) HUtilization(g *graph.Graph) []float64 {
+	return r.HUtilizationInto(g, nil)
 }
 
 // AvgUtilization is the mean of Utilization — the paper's network-load
-// x-axis ("AD").
+// x-axis ("AD"). It allocates nothing once the graph's CSR snapshot is
+// built (any routed graph has one).
 func (r *Result) AvgUtilization(g *graph.Graph) float64 {
-	u := r.Utilization(g)
+	capacity := g.CSR().Capacity
 	sum := 0.0
-	for _, x := range u {
-		sum += x
+	for i := range r.HLoads {
+		sum += (r.HLoads[i] + r.LLoads[i]) / capacity[i]
 	}
-	return sum / float64(len(u))
+	return sum / float64(len(r.HLoads))
 }
 
-// MaxUtilization is the maximum of Utilization (Fig. 9c).
+// MaxUtilization is the maximum of Utilization (Fig. 9c). It allocates
+// nothing once the graph's CSR snapshot is built.
 func (r *Result) MaxUtilization(g *graph.Graph) float64 {
+	capacity := g.CSR().Capacity
 	max := 0.0
 	for i, h := range r.HLoads {
-		if u := (h + r.LLoads[i]) / g.Edge(graph.EdgeID(i)).Capacity; u > max {
+		if u := (h + r.LLoads[i]) / capacity[i]; u > max {
 			max = u
 		}
 	}
@@ -166,6 +190,11 @@ type Evaluator struct {
 	// scratch buffers for the fast Objective* paths
 	scratchResidual []float64
 	scratchDelay    []float64
+
+	// Incremental evaluation state backing the Objective*Delta paths;
+	// created lazily so full-evaluation users pay nothing. Never shared by
+	// Clone.
+	deltaH, deltaL, deltaSTR *deltaEval
 }
 
 // treeSource is any routed plan that can hand back per-destination trees.
@@ -217,15 +246,33 @@ func New(g *graph.Graph, th, tl *traffic.Matrix, opts Options) (*Evaluator, erro
 	return e, nil
 }
 
-// Clone returns an independent Evaluator sharing the immutable problem
-// instance (graph and matrices) but no mutable state.
+// Clone returns an independent Evaluator sharing the immutable precomputed
+// instance state — graph, matrices, capacity/delay vectors, and the
+// high-priority pair/destination index — while allocating fresh routing
+// plans and scratch buffers. Unlike rebuilding via New, it neither re-checks
+// strong connectivity nor re-scans the matrices, so pooled search workers
+// clone in O(arcs) instead of O(nodes²).
 func (e *Evaluator) Clone() *Evaluator {
-	c, err := New(e.g, e.th, e.tl, e.opts)
-	if err != nil {
-		// New succeeded once with identical inputs; it cannot fail now.
-		panic(fmt.Sprintf("eval: Clone: %v", err))
+	return &Evaluator{
+		g:    e.g,
+		th:   e.th,
+		tl:   e.tl,
+		opts: e.opts,
+
+		planH:   e.planH.CloneState(),
+		planL:   e.planL.CloneState(),
+		planSTR: e.planSTR.CloneState(),
+
+		capacity:  e.capacity,
+		propDelay: e.propDelay,
+
+		hpDests: e.hpDests,
+		hpSrcs:  e.hpSrcs,
+		pairs:   e.pairs,
+
+		scratchResidual: make([]float64, e.g.NumEdges()),
+		scratchDelay:    make([]float64, e.g.NumEdges()),
 	}
-	return c
 }
 
 // Graph returns the underlying graph.
@@ -299,19 +346,24 @@ func (e *Evaluator) finish(hLoads, lLoads []float64, trees treeSource) (*Result,
 	return r, nil
 }
 
+// linkDelayAt computes the Eq. (3) delay of one arc from its high-priority
+// load and per-arc ΦH — the unit the delta path re-scores per moved arc.
+func (e *Evaluator) linkDelayAt(i int, hLoad, linkPhiH float64) float64 {
+	if e.opts.ExactDelay {
+		d := e.opts.SLA.LinkDelayExact(hLoad, e.capacity[i], e.propDelay[i])
+		if !math.IsInf(d, 1) {
+			return d
+		}
+		// Keep the search objective finite on overloaded links by falling
+		// back to the (always finite) approximation.
+	}
+	return e.opts.SLA.LinkDelayApprox(linkPhiH, e.capacity[i], e.propDelay[i])
+}
+
 // fillLinkDelays computes Eq. (3) per-arc delays into out.
 func (e *Evaluator) fillLinkDelays(hLoads, linkPhiH, out []float64) {
 	for i := range out {
-		if e.opts.ExactDelay {
-			out[i] = e.opts.SLA.LinkDelayExact(hLoads[i], e.capacity[i], e.propDelay[i])
-			if math.IsInf(out[i], 1) {
-				// Keep the search objective finite on overloaded links by
-				// falling back to the (always finite) approximation.
-				out[i] = e.opts.SLA.LinkDelayApprox(linkPhiH[i], e.capacity[i], e.propDelay[i])
-			}
-		} else {
-			out[i] = e.opts.SLA.LinkDelayApprox(linkPhiH[i], e.capacity[i], e.propDelay[i])
-		}
+		out[i] = e.linkDelayAt(i, hLoads[i], linkPhiH[i])
 	}
 }
 

@@ -1,0 +1,101 @@
+package graph
+
+// CSR is a flat compressed-sparse-row snapshot of a graph's adjacency,
+// replacing slice-of-slices traversal in hot routing loops: one cache-dense
+// index array per direction plus parallel endpoint arrays, so a Dijkstra
+// relaxation touches three flat arrays instead of chasing per-node slice
+// headers and Edge structs.
+//
+// A CSR is immutable. Graph.CSR returns the current snapshot, rebuilding it
+// lazily after structural mutations; holders of a snapshot taken before a
+// mutation keep a consistent (stale) view.
+type CSR struct {
+	// OutStart/InStart are n+1 offset arrays: the arcs leaving (entering)
+	// node u are OutArcs[OutStart[u]:OutStart[u+1]] (InArcs[...]).
+	OutStart []int32
+	InStart  []int32
+	OutArcs  []EdgeID
+	InArcs   []EdgeID
+	// OutTo[i] is the head of OutArcs[i]; InFrom[i] is the tail of InArcs[i].
+	// They let traversals skip the Edge struct load entirely.
+	OutTo  []NodeID
+	InFrom []NodeID
+	// From/To/Capacity/Delay are arc-indexed endpoint and attribute arrays
+	// (From[id] == Edge(id).From, etc.).
+	From     []NodeID
+	To       []NodeID
+	Capacity []float64
+	Delay    []float64
+
+	numNodes int
+}
+
+// NumNodes reports the node count of the snapshot.
+func (c *CSR) NumNodes() int { return c.numNodes }
+
+// NumArcs reports the arc count of the snapshot.
+func (c *CSR) NumArcs() int { return len(c.From) }
+
+// Out returns the IDs of arcs leaving u. Callers must not modify it.
+func (c *CSR) Out(u NodeID) []EdgeID { return c.OutArcs[c.OutStart[u]:c.OutStart[u+1]] }
+
+// In returns the IDs of arcs entering u. Callers must not modify it.
+func (c *CSR) In(u NodeID) []EdgeID { return c.InArcs[c.InStart[u]:c.InStart[u+1]] }
+
+// CSR returns the flat adjacency snapshot for g, building and caching it on
+// first use. The snapshot is immutable; a later AddArc invalidates the cache
+// so the next call rebuilds. Attribute mutations (SetDelay, SetCapacity)
+// also invalidate so snapshots stay value-consistent with the graph.
+func (g *Graph) CSR() *CSR {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	c := g.buildCSR()
+	g.csr.Store(c)
+	return c
+}
+
+func (g *Graph) buildCSR() *CSR {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	c := &CSR{
+		OutStart: make([]int32, n+1),
+		InStart:  make([]int32, n+1),
+		OutArcs:  make([]EdgeID, m),
+		InArcs:   make([]EdgeID, m),
+		OutTo:    make([]NodeID, m),
+		InFrom:   make([]NodeID, m),
+		From:     make([]NodeID, m),
+		To:       make([]NodeID, m),
+		Capacity: make([]float64, m),
+		Delay:    make([]float64, m),
+		numNodes: n,
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		c.From[i] = e.From
+		c.To[i] = e.To
+		c.Capacity[i] = e.Capacity
+		c.Delay[i] = e.Delay
+	}
+	// Prefix sums over degrees, then fill per-node runs preserving the
+	// per-node arc order of the slice-of-slices adjacency.
+	for u := 0; u < n; u++ {
+		c.OutStart[u+1] = c.OutStart[u] + int32(len(g.out[u]))
+		c.InStart[u+1] = c.InStart[u] + int32(len(g.in[u]))
+	}
+	for u := 0; u < n; u++ {
+		copy(c.OutArcs[c.OutStart[u]:c.OutStart[u+1]], g.out[u])
+		copy(c.InArcs[c.InStart[u]:c.InStart[u+1]], g.in[u])
+	}
+	for i, id := range c.OutArcs {
+		c.OutTo[i] = g.edges[id].To
+	}
+	for i, id := range c.InArcs {
+		c.InFrom[i] = g.edges[id].From
+	}
+	return c
+}
+
+// invalidateCSR drops the cached snapshot after a mutation.
+func (g *Graph) invalidateCSR() { g.csr.Store(nil) }

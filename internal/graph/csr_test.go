@@ -1,0 +1,95 @@
+package graph
+
+import "testing"
+
+// TestCSRMatchesAdjacency checks the flat snapshot agrees with the
+// slice-of-slices adjacency, per node and per arc.
+func TestCSRMatchesAdjacency(t *testing.T) {
+	g := New(5)
+	g.AddLink(0, 1, 10, 1)
+	g.AddLink(1, 2, 20, 2)
+	g.AddLink(2, 3, 30, 3)
+	g.AddLink(3, 4, 40, 4)
+	g.AddLink(4, 0, 50, 5)
+	g.AddArc(0, 2, 60, 6)
+
+	c := g.CSR()
+	if c.NumNodes() != g.NumNodes() || c.NumArcs() != g.NumEdges() {
+		t.Fatalf("CSR dims (%d,%d) != graph (%d,%d)", c.NumNodes(), c.NumArcs(), g.NumNodes(), g.NumEdges())
+	}
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		out, in := g.Out(u), g.In(u)
+		cout, cin := c.Out(u), c.In(u)
+		if len(out) != len(cout) || len(in) != len(cin) {
+			t.Fatalf("node %d: degree mismatch", u)
+		}
+		for i, id := range out {
+			if cout[i] != id {
+				t.Fatalf("node %d out[%d]: csr %d != graph %d", u, i, cout[i], id)
+			}
+			if c.OutTo[int(c.OutStart[u])+i] != g.Edge(id).To {
+				t.Fatalf("node %d out[%d]: OutTo mismatch", u, i)
+			}
+		}
+		for i, id := range in {
+			if cin[i] != id {
+				t.Fatalf("node %d in[%d]: csr %d != graph %d", u, i, cin[i], id)
+			}
+			if c.InFrom[int(c.InStart[u])+i] != g.Edge(id).From {
+				t.Fatalf("node %d in[%d]: InFrom mismatch", u, i)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if c.From[e.ID] != e.From || c.To[e.ID] != e.To ||
+			c.Capacity[e.ID] != e.Capacity || c.Delay[e.ID] != e.Delay {
+			t.Fatalf("arc %d: flat attribute mismatch", e.ID)
+		}
+	}
+}
+
+// TestCSRInvalidation checks mutations refresh the snapshot while old
+// snapshots keep their stale-but-consistent view.
+func TestCSRInvalidation(t *testing.T) {
+	g := New(3)
+	g.AddLink(0, 1, 10, 1)
+	old := g.CSR()
+	if old.NumArcs() != 2 {
+		t.Fatalf("snapshot has %d arcs, want 2", old.NumArcs())
+	}
+	g.AddLink(1, 2, 20, 2)
+	fresh := g.CSR()
+	if fresh.NumArcs() != 4 {
+		t.Fatalf("post-AddLink snapshot has %d arcs, want 4", fresh.NumArcs())
+	}
+	if old.NumArcs() != 2 {
+		t.Fatal("old snapshot mutated")
+	}
+	g.SetDelay(0, 9)
+	if got := g.CSR().Delay[0]; got != 9 {
+		t.Fatalf("post-SetDelay snapshot delay %v, want 9", got)
+	}
+	g.SetCapacity(0, 99)
+	if got := g.CSR().Capacity[0]; got != 99 {
+		t.Fatalf("post-SetCapacity snapshot capacity %v, want 99", got)
+	}
+	if fresh.Delay[0] != 2 && fresh.Delay[0] != 1 {
+		// fresh was taken before SetDelay; it must hold the old value.
+		t.Fatalf("stale snapshot delay %v changed", fresh.Delay[0])
+	}
+}
+
+// TestCSRCloneIndependent checks a clone builds its own snapshot.
+func TestCSRCloneIndependent(t *testing.T) {
+	g := New(3)
+	g.AddLink(0, 1, 10, 1)
+	_ = g.CSR()
+	c := g.Clone()
+	c.AddLink(1, 2, 20, 2)
+	if c.CSR().NumArcs() != 4 {
+		t.Fatalf("clone snapshot has %d arcs, want 4", c.CSR().NumArcs())
+	}
+	if g.CSR().NumArcs() != 2 {
+		t.Fatalf("original snapshot has %d arcs, want 2", g.CSR().NumArcs())
+	}
+}

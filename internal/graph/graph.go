@@ -10,6 +10,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // NodeID is a dense, zero-based node index.
@@ -33,6 +34,11 @@ type Graph struct {
 	edges []Edge
 	out   [][]EdgeID
 	in    [][]EdgeID
+
+	// csr caches the flat adjacency snapshot; it is rebuilt lazily after
+	// structural mutations (AddArc). Concurrent readers may race to build
+	// equivalent snapshots, which is harmless.
+	csr atomic.Pointer[CSR]
 }
 
 // New returns a graph with n isolated nodes named "n0".."n<n-1>".
@@ -98,6 +104,7 @@ func (g *Graph) AddArc(from, to NodeID, capacity, delay float64) EdgeID {
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Capacity: capacity, Delay: delay})
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
+	g.invalidateCSR()
 	return id
 }
 
@@ -140,10 +147,16 @@ func (g *Graph) Reverse(id EdgeID) (EdgeID, bool) {
 }
 
 // SetDelay updates the propagation delay of arc id.
-func (g *Graph) SetDelay(id EdgeID, delay float64) { g.edges[id].Delay = delay }
+func (g *Graph) SetDelay(id EdgeID, delay float64) {
+	g.edges[id].Delay = delay
+	g.invalidateCSR()
+}
 
 // SetCapacity updates the capacity of arc id.
-func (g *Graph) SetCapacity(id EdgeID, capacity float64) { g.edges[id].Capacity = capacity }
+func (g *Graph) SetCapacity(id EdgeID, capacity float64) {
+	g.edges[id].Capacity = capacity
+	g.invalidateCSR()
+}
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {

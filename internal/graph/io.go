@@ -47,7 +47,13 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		}
 		ng.AddArc(NodeID(a.From), NodeID(a.To), a.Capacity, a.Delay)
 	}
-	*g = *ng
+	// Field-wise assignment: Graph embeds an atomic CSR cache that must not
+	// be copied as a value.
+	g.names = ng.names
+	g.edges = ng.edges
+	g.out = ng.out
+	g.in = ng.in
+	g.invalidateCSR()
 	return g.Validate()
 }
 

@@ -1,0 +1,115 @@
+package search
+
+import (
+	"testing"
+
+	"dualtopo/internal/eval"
+)
+
+// TestDTRDeltaMatchesFullEval runs the same seeded DTR search with
+// incremental candidate evaluation (default) and with FullEval forced, and
+// requires identical trajectories: same best weights, same objective, same
+// evaluation count. This is the end-to-end statement that the delta paths
+// are bitwise-transparent to the heuristic.
+func TestDTRDeltaMatchesFullEval(t *testing.T) {
+	for _, kind := range []eval.Kind{eval.LoadBased, eval.SLABased} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := tinyParams()
+			p.VerifyDelta = true // assert delta == full on every accept too
+
+			delta, err := DTR(randomEvaluator(t, kind, 11), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			pf := p
+			pf.FullEval = true
+			pf.VerifyDelta = false
+			full, err := DTR(randomEvaluator(t, kind, 11), pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if delta.Best != full.Best {
+				t.Fatalf("best objective: delta %+v, full %+v", delta.Best, full.Best)
+			}
+			if delta.Evaluations != full.Evaluations {
+				t.Fatalf("evaluations: delta %d, full %d", delta.Evaluations, full.Evaluations)
+			}
+			for i := range delta.WH {
+				if delta.WH[i] != full.WH[i] || delta.WL[i] != full.WL[i] {
+					t.Fatalf("weight divergence at arc %d: delta (%d,%d), full (%d,%d)",
+						i, delta.WH[i], delta.WL[i], full.WH[i], full.WL[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSTRDeltaMatchesFullEval is the single-topology twin.
+func TestSTRDeltaMatchesFullEval(t *testing.T) {
+	for _, kind := range []eval.Kind{eval.LoadBased, eval.SLABased} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := tinySTRParams()
+			p.VerifyDelta = true
+
+			delta, err := STR(randomEvaluator(t, kind, 13), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			pf := p
+			pf.FullEval = true
+			pf.VerifyDelta = false
+			full, err := STR(randomEvaluator(t, kind, 13), pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if delta.Best != full.Best {
+				t.Fatalf("best objective: delta %+v, full %+v", delta.Best, full.Best)
+			}
+			if delta.Evaluations != full.Evaluations {
+				t.Fatalf("evaluations: delta %d, full %d", delta.Evaluations, full.Evaluations)
+			}
+			for i := range delta.W {
+				if delta.W[i] != full.W[i] {
+					t.Fatalf("weight divergence at arc %d: delta %d, full %d", i, delta.W[i], full.W[i])
+				}
+			}
+			for eps, rec := range delta.Relaxed {
+				fr := full.Relaxed[eps]
+				if rec.Found != fr.Found || rec.PhiH != fr.PhiH || rec.PhiL != fr.PhiL {
+					t.Fatalf("relaxed record ε=%g: delta %+v, full %+v", eps, rec, fr)
+				}
+			}
+		})
+	}
+}
+
+// TestDTRDeltaParallelWorkersDeterministic re-runs the delta search with
+// multiple workers and requires the single-worker trajectory. Worker delta
+// routers hold independent incremental state, so this exercises the pending
+// resync protocol under real scheduling races (and under -race in CI).
+func TestDTRDeltaParallelWorkersDeterministic(t *testing.T) {
+	p := tinyParams()
+	p.VerifyDelta = true
+	single, err := DTR(randomEvaluator(t, eval.LoadBased, 17), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4 := p
+	p4.Workers = 4
+	multi, err := DTR(randomEvaluator(t, eval.LoadBased, 17), p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Best != multi.Best {
+		t.Fatalf("best objective: 1 worker %+v, 4 workers %+v", single.Best, multi.Best)
+	}
+	for i := range single.WH {
+		if single.WH[i] != multi.WH[i] || single.WL[i] != multi.WL[i] {
+			t.Fatalf("weight divergence at arc %d", i)
+		}
+	}
+}

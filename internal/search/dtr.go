@@ -48,27 +48,24 @@ func DTRFrom(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*DTRResult, err
 	}
 
 	// Routine 1 (lines 3-12): optimize WH with WL held at its initial value.
-	s.runRoutine(p.N, s.stepFindH, func() { s.perturb(s.wH, p.G1) })
+	s.runRoutine(p.N, s.stepFindH, func() { s.noteHChange(s.perturb(s.wH, p.G1)) })
 
 	// Routine 2 (lines 13-24): fix WH at the best found, optimize WL.
-	copy(s.wH, s.bestWH)
-	copy(s.wL, s.bestWL)
+	s.adoptBest()
 	if err := s.refreshFull(); err != nil {
 		return nil, err
 	}
-	s.runRoutine(p.N, s.stepFindL, func() { s.perturb(s.wL, p.G2) })
+	s.runRoutine(p.N, s.stepFindL, func() { s.noteLChange(s.perturb(s.wL, p.G2)) })
 
 	// Routine 3 (lines 25-38): joint refinement around W*.
-	copy(s.wH, s.bestWH)
-	copy(s.wL, s.bestWL)
+	s.adoptBest()
 	if err := s.refreshFull(); err != nil {
 		return nil, err
 	}
 	s.runRoutine(p.K, s.stepRefine, func() {
-		copy(s.wH, s.bestWH)
-		copy(s.wL, s.bestWL)
-		s.perturb(s.wH, p.G3)
-		s.perturb(s.wL, p.G3)
+		s.adoptBest()
+		s.noteHChange(s.perturb(s.wH, p.G3))
+		s.noteLChange(s.perturb(s.wL, p.G3))
 	})
 
 	if s.err != nil {
@@ -106,6 +103,19 @@ type dtrSearch struct {
 	aSet  []graph.EdgeID // scratch: high-cost picks
 	bSet  []graph.EdgeID // scratch: low-cost picks
 
+	// candArcs[i] lists the arcs on which candidate i differs from the
+	// incumbent weights — the changed set threaded into the delta paths.
+	candArcs [][2]graph.EdgeID
+
+	// hPending[wk]/lPending[wk] conservatively list the arcs on which
+	// worker wk's incremental router may differ from the incumbent wH/wL:
+	// the worker's last-evaluated candidate, plus every incumbent move
+	// (accept, perturbation, routine transition) since. The next delta
+	// evaluation passes pending ∪ candidate arcs as its changed set, then
+	// resets pending to the candidate's arcs.
+	hPending, lPending [][]graph.EdgeID
+	mergeBuf           [][]graph.EdgeID
+
 	pool  []*eval.Evaluator // per-worker evaluators; pool[0] == e
 	evals int64
 	err   error
@@ -135,6 +145,9 @@ func newDTRSearch(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*dtrSearch
 	for i := 1; i < workers; i++ {
 		s.pool[i] = e.Clone()
 	}
+	s.hPending = make([][]graph.EdgeID, workers)
+	s.lPending = make([][]graph.EdgeID, workers)
+	s.mergeBuf = make([][]graph.EdgeID, workers)
 	if err := s.refreshFull(); err != nil {
 		return nil, err
 	}
@@ -232,6 +245,32 @@ func (s *dtrSearch) recordBest() {
 	s.bestLex = s.curLex
 }
 
+// adoptBest moves the incumbent weights to the best-known setting, recording
+// the arc diffs so worker delta routers resync lazily on their next use.
+func (s *dtrSearch) adoptBest() {
+	if !s.p.FullEval {
+		s.noteHChange(spf.DiffArcs(s.wH, s.bestWH, nil))
+		s.noteLChange(spf.DiffArcs(s.wL, s.bestWL, nil))
+	}
+	copy(s.wH, s.bestWH)
+	copy(s.wL, s.bestWL)
+}
+
+// noteHChange records that the incumbent wH moved on the given arcs: every
+// worker's H-delta router is now stale there until its next evaluation.
+func (s *dtrSearch) noteHChange(arcs []graph.EdgeID) {
+	if !s.p.FullEval {
+		notePending(s.hPending, arcs)
+	}
+}
+
+// noteLChange is noteHChange for the incumbent wL.
+func (s *dtrSearch) noteLChange(arcs []graph.EdgeID) {
+	if !s.p.FullEval {
+		notePending(s.lPending, arcs)
+	}
+}
+
 // findH runs Algorithm 2 on the high-priority weights: build the
 // neighborhood from the link-cost ranking, evaluate the m neighbors, and
 // move if the best neighbor improves the current solution. Reports whether
@@ -242,8 +281,11 @@ func (s *dtrSearch) findH() bool {
 	if len(cands) == 0 {
 		return false
 	}
-	lexes := s.evalCandidates(cands, func(worker int, w spf.Weights) (cost.Lex, error) {
-		return s.pool[worker].ObjectiveH(w, s.cur.LLoads)
+	lexes := s.evalCandidates(cands, func(worker, idx int, w spf.Weights) (cost.Lex, error) {
+		if s.p.FullEval {
+			return s.pool[worker].ObjectiveH(w, s.cur.LLoads)
+		}
+		return s.pool[worker].ObjectiveHDelta(w, takePending(s.hPending, s.mergeBuf, worker, s.candArcs[idx][:]), s.cur.LLoads)
 	})
 	if s.err != nil {
 		return false
@@ -260,12 +302,18 @@ func (s *dtrSearch) findH() bool {
 		return false
 	}
 	copy(s.wH, cands[bestIdx])
+	s.noteHChange(s.candArcs[bestIdx][:])
 	r, err := s.e.EvaluateHWithLLoads(s.wH, s.cur.LLoads)
 	if err != nil {
 		s.err = err
 		return false
 	}
 	s.evals++
+	if s.p.VerifyDelta && !s.p.FullEval && lexes[bestIdx] != r.Objective() {
+		s.err = fmt.Errorf("search: delta/full mismatch on FindH accept: delta %+v, full %+v",
+			lexes[bestIdx], r.Objective())
+		return false
+	}
 	s.cur = r
 	s.curLex = r.Objective()
 	return true
@@ -282,8 +330,14 @@ func (s *dtrSearch) findL() bool {
 		return false
 	}
 	phiLs := make([]float64, len(cands))
-	lexes := s.evalCandidates(cands, func(worker int, w spf.Weights) (cost.Lex, error) {
-		phiL, err := s.pool[worker].ObjectiveL(w, s.cur.Residual)
+	lexes := s.evalCandidates(cands, func(worker, idx int, w spf.Weights) (cost.Lex, error) {
+		var phiL float64
+		var err error
+		if s.p.FullEval {
+			phiL, err = s.pool[worker].ObjectiveL(w, s.cur.Residual)
+		} else {
+			phiL, err = s.pool[worker].ObjectiveLDelta(w, takePending(s.lPending, s.mergeBuf, worker, s.candArcs[idx][:]), s.cur.Residual)
+		}
 		return cost.Lex{Primary: s.curLex.Primary, Secondary: phiL}, err
 	})
 	if s.err != nil {
@@ -304,16 +358,23 @@ func (s *dtrSearch) findL() bool {
 		return false
 	}
 	copy(s.wL, cands[bestIdx])
+	s.noteLChange(s.candArcs[bestIdx][:])
 	r, err := s.e.EvaluateLWithBase(s.wL, s.cur)
 	if err != nil {
 		s.err = err
 		return false
 	}
 	s.evals++
+	if s.p.VerifyDelta && !s.p.FullEval && phiLs[bestIdx] != r.PhiL {
+		s.err = fmt.Errorf("search: delta/full mismatch on FindL accept: delta ΦL %v, full %v",
+			phiLs[bestIdx], r.PhiL)
+		return false
+	}
 	s.cur = r
 	s.curLex = r.Objective()
 	return true
 }
+
 
 // sortLinks fills s.order with all arcs in decreasing cost order.
 func (s *dtrSearch) sortLinks(linkCost func(graph.EdgeID) cost.Lex) {
@@ -340,6 +401,7 @@ func (s *dtrSearch) buildNeighbors(w spf.Weights) []spf.Weights {
 	s.rng.shuffleEdges(s.bSet)
 
 	cands := make([]spf.Weights, 0, m)
+	s.candArcs = s.candArcs[:0]
 	for j := 0; j < m; j++ {
 		up, down := s.aSet[j], s.bSet[j]
 		if up == down {
@@ -348,6 +410,7 @@ func (s *dtrSearch) buildNeighbors(w spf.Weights) []spf.Weights {
 		nw, changed := neighborOf(w, up, down, s.p.Step, s.p.WMax)
 		if changed {
 			cands = append(cands, nw)
+			s.candArcs = append(s.candArcs, [2]graph.EdgeID{up, down})
 		}
 	}
 	return cands
@@ -376,9 +439,11 @@ func neighborOf(w spf.Weights, up, down graph.EdgeID, step, wMax int) (spf.Weigh
 }
 
 // evalCandidates evaluates all candidates, in parallel when the search has
-// more than one worker. Results are reduced in candidate order, keeping the
-// search deterministic regardless of scheduling.
-func (s *dtrSearch) evalCandidates(cands []spf.Weights, fn func(worker int, w spf.Weights) (cost.Lex, error)) []cost.Lex {
+// more than one worker. Each worker owns its evaluator (and that evaluator's
+// incremental routers), so the delta paths parallelize without sharing.
+// Results are reduced in candidate order, keeping the search deterministic
+// regardless of scheduling.
+func (s *dtrSearch) evalCandidates(cands []spf.Weights, fn func(worker, idx int, w spf.Weights) (cost.Lex, error)) []cost.Lex {
 	lexes := make([]cost.Lex, len(cands))
 	errs := make([]error, len(cands))
 	workers := len(s.pool)
@@ -387,7 +452,7 @@ func (s *dtrSearch) evalCandidates(cands []spf.Weights, fn func(worker int, w sp
 	}
 	if workers <= 1 {
 		for i, w := range cands {
-			lexes[i], errs[i] = fn(0, w)
+			lexes[i], errs[i] = fn(0, i, w)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -396,7 +461,7 @@ func (s *dtrSearch) evalCandidates(cands []spf.Weights, fn func(worker int, w sp
 			go func(wk int) {
 				defer wg.Done()
 				for i := wk; i < len(cands); i += workers {
-					lexes[i], errs[i] = fn(wk, cands[i])
+					lexes[i], errs[i] = fn(wk, i, cands[i])
 				}
 			}(wk)
 		}
@@ -412,13 +477,18 @@ func (s *dtrSearch) evalCandidates(cands []spf.Weights, fn func(worker int, w sp
 	return lexes
 }
 
-// perturb re-randomizes a g fraction (at least one) of the weights in w.
-func (s *dtrSearch) perturb(w spf.Weights, g float64) {
+// perturb re-randomizes a g fraction (at least one) of the weights in w,
+// returning the changed arcs for the delta bookkeeping.
+func (s *dtrSearch) perturb(w spf.Weights, g float64) []graph.EdgeID {
 	count := int(g*float64(len(w)) + 0.5)
 	if count < 1 {
 		count = 1
 	}
-	for _, i := range s.rng.Perm(len(w))[:count] {
+	perm := s.rng.Perm(len(w))[:count]
+	arcs := make([]graph.EdgeID, 0, count)
+	for _, i := range perm {
 		w[i] = 1 + s.rng.IntN(s.p.WMax)
+		arcs = append(arcs, graph.EdgeID(i))
 	}
+	return arcs
 }

@@ -36,6 +36,15 @@ type Params struct {
 	Seed uint64
 	// Workers bounds concurrent neighbor evaluations; 0 means GOMAXPROCS.
 	Workers int
+	// FullEval forces full re-evaluation of every candidate instead of the
+	// incremental delta paths (default). Both modes produce bitwise-identical
+	// search trajectories; full evaluation exists as a baseline for
+	// benchmarks and debugging.
+	FullEval bool
+	// VerifyDelta asserts, on every accepted move, that the incremental
+	// objective of the winning candidate equals the full re-evaluation
+	// bitwise, failing the search on mismatch. Debug mode.
+	VerifyDelta bool
 }
 
 // Defaults returns the paper's parameter settings (§5.1.3).
@@ -106,6 +115,11 @@ type STRParams struct {
 	Epsilons []float64
 	// Workers bounds concurrent candidate evaluations; 0 means GOMAXPROCS.
 	Workers int
+	// FullEval forces full candidate evaluation; see Params.FullEval.
+	FullEval bool
+	// VerifyDelta asserts delta == full on every accept; see
+	// Params.VerifyDelta.
+	VerifyDelta bool
 }
 
 // STRDefaults returns a baseline configuration whose evaluation budget

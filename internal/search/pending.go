@@ -1,0 +1,35 @@
+package search
+
+import "dualtopo/internal/graph"
+
+// Worker delta-router bookkeeping shared by the DTR and STR searches.
+//
+// pending[wk] conservatively lists the arcs on which worker wk's incremental
+// router may differ from the incumbent weights: the worker's last-evaluated
+// candidate, plus every incumbent move (accept, perturbation, routine
+// transition) since. Each delta evaluation passes pending ∪ candidate arcs
+// as its changed set, keeping the superset invariant the eval layer's
+// Objective*Delta contract requires.
+
+// takePending builds the changed-arc set for one delta evaluation — worker
+// wk's pending arcs plus the candidate's own — into mergeBuf[wk], and resets
+// pending[wk] to the candidate arcs (where the worker's router will sit
+// after the call). The returned slice is valid until the worker's next call.
+func takePending(pending, mergeBuf [][]graph.EdgeID, wk int, cand []graph.EdgeID) []graph.EdgeID {
+	buf := append(mergeBuf[wk][:0], pending[wk]...)
+	buf = append(buf, cand...)
+	mergeBuf[wk] = buf
+	pending[wk] = append(pending[wk][:0], cand...)
+	return buf
+}
+
+// notePending records an incumbent move on the given arcs: every worker's
+// router is now stale there until its next evaluation.
+func notePending(pending [][]graph.EdgeID, arcs []graph.EdgeID) {
+	if len(arcs) == 0 {
+		return
+	}
+	for wk := range pending {
+		pending[wk] = append(pending[wk], arcs...)
+	}
+}

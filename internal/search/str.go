@@ -6,6 +6,7 @@ import (
 
 	"dualtopo/internal/cost"
 	"dualtopo/internal/eval"
+	"dualtopo/internal/graph"
 	"dualtopo/internal/spf"
 )
 
@@ -66,6 +67,8 @@ func STRFrom(e *eval.Evaluator, w0 spf.Weights, p STRParams) (*STRResult, error)
 	for i := 1; i < workers; i++ {
 		s.pool[i] = e.Clone()
 	}
+	s.pending = make([][]graph.EdgeID, workers)
+	s.mergeBuf = make([][]graph.EdgeID, workers)
 
 	first, err := e.ObjectiveSTR(s.w)
 	if err != nil {
@@ -89,7 +92,7 @@ func STRFrom(e *eval.Evaluator, w0 spf.Weights, p STRParams) (*STRResult, error)
 			sinceImprove++
 		}
 		if sinceImprove >= p.M {
-			s.perturb()
+			s.noteChange(s.perturb())
 			obj, err := e.ObjectiveSTR(s.w)
 			if err != nil {
 				return nil, err
@@ -130,8 +133,21 @@ type strSearch struct {
 	bestW   spf.Weights
 	bestObj eval.STRObjective
 
+	// pending[wk] lists arcs on which worker wk's incremental router may
+	// differ from the incumbent w; see dtrSearch for the protocol.
+	pending  [][]graph.EdgeID
+	mergeBuf [][]graph.EdgeID
+
 	relaxed map[float64]RelaxedRecord
 	evals   int64
+}
+
+// noteChange records an incumbent move on the given arcs for every worker's
+// delta bookkeeping.
+func (s *strSearch) noteChange(arcs []graph.EdgeID) {
+	if !s.p.FullEval {
+		notePending(s.pending, arcs)
+	}
 }
 
 // step samples Candidates single-weight changes, evaluates them, feeds the
@@ -160,13 +176,24 @@ func (s *strSearch) step() (bool, error) {
 		weights[i] = s.w.Clone()
 		weights[i][c.arc] = c.newWeight
 	}
+	// evalOne routes candidate i on worker wk: incrementally — the changed
+	// set is the worker's stale arcs plus the candidate's single arc —
+	// unless FullEval forces a from-scratch evaluation.
+	evalOne := func(wk, i int) (eval.STRObjective, error) {
+		if s.p.FullEval {
+			return s.pool[wk].ObjectiveSTR(weights[i])
+		}
+		cand := [1]graph.EdgeID{graph.EdgeID(cands[i].arc)}
+		changed := takePending(s.pending, s.mergeBuf, wk, cand[:])
+		return s.pool[wk].ObjectiveSTRDelta(weights[i], changed)
+	}
 	workers := len(s.pool)
 	if workers > len(cands) {
 		workers = len(cands)
 	}
 	if workers <= 1 {
 		for i := range cands {
-			objs[i], errs[i] = s.pool[0].ObjectiveSTR(weights[i])
+			objs[i], errs[i] = evalOne(0, i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -175,7 +202,7 @@ func (s *strSearch) step() (bool, error) {
 			go func(wk int) {
 				defer wg.Done()
 				for i := wk; i < len(cands); i += workers {
-					objs[i], errs[i] = s.pool[wk].ObjectiveSTR(weights[i])
+					objs[i], errs[i] = evalOne(wk, i)
 				}
 			}(wk)
 		}
@@ -201,7 +228,17 @@ func (s *strSearch) step() (bool, error) {
 		return false, nil
 	}
 	copy(s.w, weights[bestIdx])
+	s.noteChange([]graph.EdgeID{graph.EdgeID(cands[bestIdx].arc)})
 	s.cur = objs[bestIdx]
+	if s.p.VerifyDelta && !s.p.FullEval {
+		full, err := s.e.ObjectiveSTR(s.w)
+		if err != nil {
+			return false, err
+		}
+		if full != s.cur {
+			return false, fmt.Errorf("search: delta/full mismatch on STR accept: delta %+v, full %+v", s.cur, full)
+		}
+	}
 	if s.cur.Lex.Less(s.bestObj.Lex) {
 		copy(s.bestW, s.w)
 		s.bestObj = s.cur
@@ -247,13 +284,18 @@ func (s *strSearch) record(w spf.Weights, obj eval.STRObjective) {
 	}
 }
 
-// perturb re-randomizes a Perturb fraction (at least one) of the weights.
-func (s *strSearch) perturb() {
+// perturb re-randomizes a Perturb fraction (at least one) of the weights,
+// returning the changed arcs for the delta bookkeeping.
+func (s *strSearch) perturb() []graph.EdgeID {
 	count := int(s.p.Perturb*float64(len(s.w)) + 0.5)
 	if count < 1 {
 		count = 1
 	}
-	for _, i := range s.rng.Perm(len(s.w))[:count] {
+	perm := s.rng.Perm(len(s.w))[:count]
+	arcs := make([]graph.EdgeID, 0, count)
+	for _, i := range perm {
 		s.w[i] = 1 + s.rng.IntN(s.p.WMax)
+		arcs = append(arcs, graph.EdgeID(i))
 	}
+	return arcs
 }

@@ -1,0 +1,455 @@
+package spf
+
+import (
+	"fmt"
+	"slices"
+
+	"dualtopo/internal/graph"
+	"dualtopo/internal/traffic"
+)
+
+// DeltaStats counts what the incremental engine actually did — the
+// observability hook for tests and benchmarks pinning the delta/full ratio.
+type DeltaStats struct {
+	// Applies counts Apply calls served incrementally.
+	Applies int64
+	// FullRoutes counts from-scratch recomputations (initial Route, error
+	// recovery, Apply on an invalid router).
+	FullRoutes int64
+	// TreesRecomputed and TreesReused count per-destination SPF outcomes
+	// across incremental Applies.
+	TreesRecomputed int64
+	TreesReused     int64
+}
+
+// DeltaRouter incrementally maintains per-destination shortest-path trees
+// and per-arc load aggregates for one or more traffic matrices under an
+// evolving weight setting.
+//
+// A full Route computes every destination tree. Apply takes the set of arcs
+// whose weights changed and recomputes only the trees the change can
+// invalidate, per the dynamic-SPF rule:
+//
+//   - a changed arc lying on the stored ECMP DAG (Dist[to]+w_old == Dist[from])
+//     invalidates the tree, whatever the direction of the change;
+//   - a changed arc with Dist[to]+w_new <= Dist[from] (a weight decrease, or
+//     a repaired arc, creating a shorter or new equal-cost path) invalidates
+//     the tree;
+//   - every other tree keeps both its distances and its ECMP DAG, so its
+//     routed loads are bitwise-unchanged (Tree.Order is canonical).
+//
+// Dirty destinations have their old load contribution subtracted exactly —
+// per-destination load vectors are retained, and touched arcs are
+// re-aggregated in the same floating-point order MultiPlan.Route uses — so
+// incremental results are bitwise-equal to a fresh full Route.
+//
+// A DeltaRouter is not safe for concurrent use. After any error the router
+// is invalid and the next Apply falls back to a full Route.
+type DeltaRouter struct {
+	g    *graph.Graph
+	csr  *graph.CSR
+	comp *Computer
+	tms  []*traffic.Matrix
+
+	dests []graph.NodeID
+	byID  []int
+	trees []Tree
+	w     Weights
+	valid bool
+
+	// perDest[di][mi] is destination di's per-arc contribution to matrix
+	// mi's loads; nil when di receives no demand from mi.
+	perDest [][][]float64
+	// supports[di][mi] lists the arcs with nonzero perDest[di][mi] load, in
+	// load-discovery order — the key to support-sized (instead of
+	// arc-count-sized) zeroing, marking and re-aggregation passes.
+	supports [][][]graph.EdgeID
+	// demands[di][mi] caches the demand column toward di (nil when zero).
+	demands [][][]float64
+
+	// Loads[mi] is the aggregate per-arc load of matrix mi, maintained
+	// bitwise-equal to what MultiPlan.Route would produce.
+	Loads [][]float64
+
+	changedBuf []graph.EdgeID
+	moved      []graph.EdgeID
+	movedMark  []bool
+	touched    []bool
+	touchList  []graph.EdgeID
+	dirty      []bool
+	dirtyList  []int
+	sumBuf     []float64
+	allArcs    []graph.EdgeID
+	xiBuf      []float64
+
+	stats DeltaStats
+}
+
+// NewDeltaRouter prepares incremental routing state for the union of
+// destinations active in the given matrices. The matrices must not be
+// mutated afterwards (their demand columns are cached). Call Route before
+// the first Apply, or let Apply fall back to a full Route.
+func NewDeltaRouter(g *graph.Graph, tms ...*traffic.Matrix) *DeltaRouter {
+	m := g.NumEdges()
+	r := &DeltaRouter{
+		g:    g,
+		csr:  g.CSR(),
+		comp: NewComputer(g),
+		tms:  tms,
+		byID: make([]int, g.NumNodes()),
+		w:    make(Weights, m),
+	}
+	for i := range r.byID {
+		r.byID[i] = -1
+	}
+	for _, tm := range tms {
+		for _, d := range tm.ActiveDestinations() {
+			if r.byID[d] == -1 {
+				r.byID[d] = len(r.dests)
+				r.dests = append(r.dests, d)
+			}
+		}
+	}
+	nd := len(r.dests)
+	r.trees = make([]Tree, nd)
+	r.perDest = make([][][]float64, nd)
+	r.supports = make([][][]graph.EdgeID, nd)
+	r.demands = make([][][]float64, nd)
+	for di, dest := range r.dests {
+		r.perDest[di] = make([][]float64, len(tms))
+		r.supports[di] = make([][]graph.EdgeID, len(tms))
+		r.demands[di] = make([][]float64, len(tms))
+		for mi, tm := range tms {
+			col := tm.DemandsTo(dest, nil)
+			any := false
+			for _, d := range col {
+				if d != 0 {
+					any = true
+					break
+				}
+			}
+			if any {
+				r.demands[di][mi] = col
+				r.perDest[di][mi] = make([]float64, m)
+			}
+		}
+	}
+	r.Loads = make([][]float64, len(tms))
+	for mi := range r.Loads {
+		r.Loads[mi] = make([]float64, m)
+	}
+	r.touched = make([]bool, m)
+	r.movedMark = make([]bool, m)
+	r.sumBuf = make([]float64, m)
+	r.dirty = make([]bool, nd)
+	r.allArcs = make([]graph.EdgeID, m)
+	for a := range r.allArcs {
+		r.allArcs[a] = graph.EdgeID(a)
+	}
+	return r
+}
+
+// Destinations returns the active destination union. Callers must not
+// modify it.
+func (r *DeltaRouter) Destinations() []graph.NodeID { return r.dests }
+
+// Weights returns the router's current weight setting. Callers must not
+// modify it.
+func (r *DeltaRouter) Weights() Weights { return r.w }
+
+// Valid reports whether the router holds a consistent routed state.
+func (r *DeltaRouter) Valid() bool { return r.valid }
+
+// Stats returns cumulative incremental-engine counters.
+func (r *DeltaRouter) Stats() DeltaStats { return r.stats }
+
+// Tree returns the routing tree toward dest, or nil if dest is inactive.
+// Valid after a successful Route or Apply.
+func (r *DeltaRouter) Tree(dest graph.NodeID) *Tree {
+	i := r.byID[dest]
+	if i < 0 {
+		return nil
+	}
+	return &r.trees[i]
+}
+
+// TreeDirty reports whether dest's tree was recomputed by the last
+// successful Route (always true) or Apply. Inactive destinations are never
+// dirty.
+func (r *DeltaRouter) TreeDirty(dest graph.NodeID) bool {
+	i := r.byID[dest]
+	return i >= 0 && r.dirty[i]
+}
+
+// TreeUsesArc reports whether arc id lies on the ECMP DAG toward dest under
+// the current weights. It panics on an inactive destination.
+func (r *DeltaRouter) TreeUsesArc(dest graph.NodeID, id graph.EdgeID) bool {
+	i := r.byID[dest]
+	if i < 0 {
+		panic("spf: TreeUsesArc on inactive destination")
+	}
+	t := &r.trees[i]
+	w := r.w[id]
+	if w == Disabled {
+		return false
+	}
+	dv := t.Dist[r.csr.To[id]]
+	return dv != unreachable && dv+int64(w) == t.Dist[r.csr.From[id]]
+}
+
+// DelaysTo returns expected delays from every node to dst given per-arc
+// delays. The returned slice is reused by the next DelaysTo call. It panics
+// on an inactive destination.
+func (r *DeltaRouter) DelaysTo(dst graph.NodeID, arcDelay []float64) []float64 {
+	t := r.Tree(dst)
+	if t == nil {
+		panic("spf: DelaysTo on inactive destination")
+	}
+	r.xiBuf = t.Delays(r.g, arcDelay, r.xiBuf)
+	return r.xiBuf
+}
+
+// Route recomputes every tree and load vector from scratch under w and
+// snapshots w as the router's current setting. This is both the
+// initialization path and the fallback when incremental state is unusable.
+func (r *DeltaRouter) Route(w Weights) error {
+	if len(w) != len(r.w) {
+		return fmt.Errorf("spf: delta router has %d arcs, weights cover %d", len(r.w), len(w))
+	}
+	copy(r.w, w)
+	r.valid = false
+	r.stats.FullRoutes++
+	for mi := range r.Loads {
+		loads := r.Loads[mi]
+		for a := range loads {
+			loads[a] = 0
+		}
+	}
+	for di, dest := range r.dests {
+		r.dirty[di] = true
+		t := &r.trees[di]
+		r.comp.Tree(dest, r.w, t)
+		for mi := range r.tms {
+			dem := r.demands[di][mi]
+			if dem == nil {
+				continue
+			}
+			pd := r.perDest[di][mi]
+			for _, a := range r.supports[di][mi] {
+				pd[a] = 0
+			}
+			sup, err := r.addLoadsTracked(t, dem, pd, r.supports[di][mi][:0])
+			r.supports[di][mi] = sup
+			if err != nil {
+				return err
+			}
+			loads := r.Loads[mi]
+			for _, a := range sup {
+				loads[a] += pd[a]
+			}
+		}
+	}
+	r.valid = true
+	return nil
+}
+
+// addLoadsTracked is Computer.AddLoads with support tracking: it performs
+// the identical floating-point accumulation into pd (which must be zeroed)
+// while appending each arc that becomes loaded to sup. Keeping it
+// instruction-identical to AddLoads is what preserves bitwise equality with
+// the full routing path.
+func (r *DeltaRouter) addLoadsTracked(t *Tree, demand, pd []float64, sup []graph.EdgeID) ([]graph.EdgeID, error) {
+	c := r.comp
+	flow := c.flow
+	for i := range flow {
+		flow[i] = 0
+	}
+	for u, d := range demand {
+		if d == 0 {
+			continue
+		}
+		if !t.Reaches(graph.NodeID(u)) {
+			return sup, fmt.Errorf("spf: node %d has demand %g but no path to %d", u, d, t.Dest)
+		}
+		flow[u] = d
+	}
+	to := c.csr.To
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		f := flow[u]
+		if f == 0 || u == t.Dest {
+			continue
+		}
+		share := f / float64(len(t.Next[u]))
+		for _, id := range t.Next[u] {
+			if pd[id] == 0 {
+				sup = append(sup, id)
+			}
+			pd[id] += share
+			flow[to[id]] += share
+		}
+	}
+	return sup, nil
+}
+
+// Apply transitions the router to w, where changed lists every arc whose
+// weight differs from the router's current setting (a superset is fine:
+// unchanged listed arcs are skipped). It recomputes only invalidated trees
+// and returns the arcs whose aggregate Loads changed; the slice is reused by
+// the next call. After an initial Route, results are bitwise-equal to a
+// fresh full Route(w).
+//
+// On an invalid router, Apply falls back to a full Route and reports every
+// arc as moved. On error the router becomes invalid; the caller must treat
+// its state as unspecified until the next successful call.
+func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, error) {
+	if !r.valid {
+		if err := r.Route(w); err != nil {
+			return nil, err
+		}
+		return r.allArcs, nil
+	}
+	// Keep only arcs that actually changed.
+	actual := r.changedBuf[:0]
+	for _, id := range changed {
+		if w[id] != r.w[id] {
+			actual = append(actual, id)
+		}
+	}
+	r.changedBuf = actual
+	r.stats.Applies++
+	for di := range r.dirty {
+		r.dirty[di] = false
+	}
+	if len(actual) == 0 {
+		r.moved = r.moved[:0]
+		return r.moved, nil
+	}
+
+	// Invalidation pass against the stored trees and old weights.
+	r.dirtyList = r.dirtyList[:0]
+	for di := range r.dests {
+		t := &r.trees[di]
+		for _, id := range actual {
+			wo, wn := r.w[id], w[id]
+			dv := t.Dist[r.csr.To[id]]
+			if dv == unreachable {
+				continue // arc tail cannot reach dest: no effect either way
+			}
+			du := t.Dist[r.csr.From[id]]
+			onDAG := wo != Disabled && dv+int64(wo) == du
+			shorter := wn != Disabled && dv+int64(wn) <= du
+			if onDAG || shorter {
+				r.dirty[di] = true
+				r.dirtyList = append(r.dirtyList, di)
+				break
+			}
+		}
+	}
+	for _, id := range actual {
+		r.w[id] = w[id]
+	}
+	r.stats.TreesRecomputed += int64(len(r.dirtyList))
+	r.stats.TreesReused += int64(len(r.dests) - len(r.dirtyList))
+	if len(r.dirtyList) == 0 {
+		r.moved = r.moved[:0]
+		return r.moved, nil
+	}
+
+	// Recompute dirty trees and their per-destination load vectors. Every
+	// arc in the union of old and new supports is "touched"; all passes are
+	// support-sized, never arc-count-sized.
+	r.touchList = r.touchList[:0]
+	mark := func(a graph.EdgeID) {
+		if !r.touched[a] {
+			r.touched[a] = true
+			r.touchList = append(r.touchList, a)
+		}
+	}
+	for _, di := range r.dirtyList {
+		for mi := range r.tms {
+			pd := r.perDest[di][mi]
+			if pd == nil {
+				continue
+			}
+			for _, a := range r.supports[di][mi] {
+				pd[a] = 0
+				mark(a)
+			}
+		}
+		t := &r.trees[di]
+		r.comp.Tree(r.dests[di], r.w, t)
+		for mi := range r.tms {
+			dem := r.demands[di][mi]
+			if dem == nil {
+				continue
+			}
+			sup, err := r.addLoadsTracked(t, dem, r.perDest[di][mi], r.supports[di][mi][:0])
+			r.supports[di][mi] = sup
+			if err != nil {
+				r.valid = false
+				for _, a := range r.touchList {
+					r.touched[a] = false
+				}
+				return nil, err
+			}
+			for _, a := range sup {
+				mark(a)
+			}
+		}
+	}
+
+	// Re-aggregate touched arcs in full-Route order: per arc, sum every
+	// destination's contribution in ascending destination order, skipping
+	// zeros — the exact floating-point sequence MultiPlan.Route performs.
+	// The loop runs destination-outer over each destination's support list,
+	// so work scales with the loaded arcs, not the graph.
+	slices.Sort(r.touchList)
+	r.moved = r.moved[:0]
+	for mi := range r.tms {
+		sums := r.sumBuf
+		for _, a := range r.touchList {
+			sums[a] = 0
+		}
+		for di := range r.dests {
+			pd := r.perDest[di][mi]
+			if pd == nil {
+				continue
+			}
+			for _, a := range r.supports[di][mi] {
+				if r.touched[a] {
+					sums[a] += pd[a]
+				}
+			}
+		}
+		loads := r.Loads[mi]
+		for _, a := range r.touchList {
+			if sums[a] != loads[a] {
+				loads[a] = sums[a]
+				if !r.movedMark[a] {
+					r.movedMark[a] = true
+					r.moved = append(r.moved, a)
+				}
+			}
+		}
+	}
+	for _, a := range r.touchList {
+		r.touched[a] = false
+	}
+	for _, a := range r.moved {
+		r.movedMark[a] = false
+	}
+	return r.moved, nil
+}
+
+// DiffArcs appends to buf the arcs on which a and b differ, returning the
+// extended slice — the changed-arc set for an Apply transitioning between
+// arbitrary settings.
+func DiffArcs(a, b Weights, buf []graph.EdgeID) []graph.EdgeID {
+	for i := range a {
+		if a[i] != b[i] {
+			buf = append(buf, graph.EdgeID(i))
+		}
+	}
+	return buf
+}

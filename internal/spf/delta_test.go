@@ -1,0 +1,258 @@
+package spf
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualtopo/internal/graph"
+	"dualtopo/internal/traffic"
+)
+
+// randomInstance builds a strongly connected graph (bidirectional ring plus
+// random chords) and one or two random traffic matrices.
+func randomInstance(rng *rand.Rand, nodes, chords, matrices int) (*graph.Graph, []*traffic.Matrix) {
+	g := graph.New(nodes)
+	for u := 0; u < nodes; u++ {
+		g.AddLink(graph.NodeID(u), graph.NodeID((u+1)%nodes), 60+40*rng.Float64(), 1+4*rng.Float64())
+	}
+	for c := 0; c < chords; c++ {
+		u := graph.NodeID(rng.IntN(nodes))
+		v := graph.NodeID(rng.IntN(nodes))
+		if u == v || g.HasLink(u, v) {
+			continue
+		}
+		g.AddLink(u, v, 60+40*rng.Float64(), 1+4*rng.Float64())
+	}
+	tms := make([]*traffic.Matrix, matrices)
+	for mi := range tms {
+		tm := traffic.NewMatrix(nodes)
+		pairs := nodes * 2
+		for p := 0; p < pairs; p++ {
+			s := graph.NodeID(rng.IntN(nodes))
+			t := graph.NodeID(rng.IntN(nodes))
+			if s == t {
+				continue
+			}
+			tm.Add(s, t, 1+9*rng.Float64())
+		}
+		tms[mi] = tm
+	}
+	return g, tms
+}
+
+// assertTreesEqual requires bitwise-identical distances, ECMP DAGs and
+// orders for every active destination.
+func assertTreesEqual(t *testing.T, step int, dr *DeltaRouter, ref *MultiPlan) {
+	t.Helper()
+	for _, dest := range dr.Destinations() {
+		dt, rt := dr.Tree(dest), ref.Tree(dest)
+		if len(dt.Dist) != len(rt.Dist) {
+			t.Fatalf("step %d dest %d: dist length %d != %d", step, dest, len(dt.Dist), len(rt.Dist))
+		}
+		for u := range dt.Dist {
+			if dt.Dist[u] != rt.Dist[u] {
+				t.Fatalf("step %d dest %d: Dist[%d] = %d, want %d", step, dest, u, dt.Dist[u], rt.Dist[u])
+			}
+		}
+		if len(dt.Order) != len(rt.Order) {
+			t.Fatalf("step %d dest %d: order length %d != %d", step, dest, len(dt.Order), len(rt.Order))
+		}
+		for i := range dt.Order {
+			if dt.Order[i] != rt.Order[i] {
+				t.Fatalf("step %d dest %d: Order[%d] = %d, want %d", step, dest, i, dt.Order[i], rt.Order[i])
+			}
+		}
+		for u := range dt.Next {
+			if len(dt.Next[u]) != len(rt.Next[u]) {
+				t.Fatalf("step %d dest %d: Next[%d] = %v, want %v", step, dest, u, dt.Next[u], rt.Next[u])
+			}
+			for i := range dt.Next[u] {
+				if dt.Next[u][i] != rt.Next[u][i] {
+					t.Fatalf("step %d dest %d: Next[%d] = %v, want %v", step, dest, u, dt.Next[u], rt.Next[u])
+				}
+			}
+		}
+	}
+}
+
+// assertLoadsEqual requires bitwise equality (==, not tolerance) between the
+// incremental aggregates and a fresh full route.
+func assertLoadsEqual(t *testing.T, step int, dr *DeltaRouter, ref *MultiPlan) {
+	t.Helper()
+	for mi := range dr.Loads {
+		for a := range dr.Loads[mi] {
+			if dr.Loads[mi][a] != ref.Loads[mi][a] {
+				t.Fatalf("step %d matrix %d arc %d: delta load %v != full load %v (diff %g)",
+					step, mi, a, dr.Loads[mi][a], ref.Loads[mi][a], dr.Loads[mi][a]-ref.Loads[mi][a])
+			}
+		}
+	}
+}
+
+// TestDeltaRouterMatchesFullRoute drives random single- and multi-arc weight
+// changes — including weight decreases and Disabled (failure/repair)
+// transitions — and asserts the incremental state is bitwise-equal to a
+// from-scratch route after every step.
+func TestDeltaRouterMatchesFullRoute(t *testing.T) {
+	for _, tc := range []struct {
+		name              string
+		nodes, chords, ms int
+		seed              uint64
+	}{
+		{"small-1matrix", 10, 8, 1, 1},
+		{"medium-2matrix", 24, 30, 2, 2},
+		{"dense-1matrix", 16, 48, 1, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(tc.seed, 99))
+			g, tms := randomInstance(rng, tc.nodes, tc.chords, tc.ms)
+			m := g.NumEdges()
+
+			dr := NewDeltaRouter(g, tms...)
+			ref := NewMultiPlan(g, tms...)
+			w := Uniform(m)
+			for i := range w {
+				w[i] = 1 + rng.IntN(30)
+			}
+			if err := dr.Route(w); err != nil {
+				t.Fatal(err)
+			}
+
+			disabled := map[graph.EdgeID]int{} // arc -> weight before failure
+			for step := 0; step < 400; step++ {
+				prev := w.Clone()
+				var changed []graph.EdgeID
+				narcs := 1 + rng.IntN(4)
+				for k := 0; k < narcs; k++ {
+					id := graph.EdgeID(rng.IntN(m))
+					switch {
+					case rng.IntN(10) == 0 && w[id] != Disabled:
+						disabled[id] = w[id]
+						w[id] = Disabled
+					case w[id] == Disabled:
+						w[id] = disabled[id] // repair
+						delete(disabled, id)
+					case rng.IntN(2) == 0:
+						// Biased decrease: the invalidation direction that
+						// can create new shortest paths.
+						if w[id] > 1 {
+							w[id] = 1 + rng.IntN(w[id])
+						} else {
+							w[id] = 1 + rng.IntN(30)
+						}
+					default:
+						w[id] = 1 + rng.IntN(30)
+					}
+					changed = append(changed, id)
+				}
+
+				refErr := ref.Route(w, tms...)
+				moved, err := dr.Apply(w, changed)
+				if refErr != nil {
+					// A failure disconnected some demand: both paths must
+					// fail, and the router must recover via full fallback
+					// once the weights are restored.
+					if err == nil {
+						t.Fatalf("step %d: full route failed (%v) but delta succeeded", step, refErr)
+					}
+					copy(w, prev)
+					for _, id := range changed {
+						delete(disabled, id)
+					}
+					if err := ref.Route(w, tms...); err != nil {
+						t.Fatalf("step %d: restore failed: %v", step, err)
+					}
+					if _, err := dr.Apply(w, changed); err != nil {
+						t.Fatalf("step %d: delta restore failed: %v", step, err)
+					}
+					if dr.Valid() != true {
+						t.Fatalf("step %d: router invalid after recovery", step)
+					}
+				} else if err != nil {
+					t.Fatalf("step %d: delta failed but full route succeeded: %v", step, err)
+				} else {
+					// Arcs not reported as moved must be untouched.
+					movedSet := map[graph.EdgeID]bool{}
+					for _, a := range moved {
+						movedSet[a] = true
+					}
+					_ = movedSet
+				}
+				assertTreesEqual(t, step, dr, ref)
+				assertLoadsEqual(t, step, dr, ref)
+			}
+
+			st := dr.Stats()
+			if st.TreesReused == 0 {
+				t.Fatalf("delta router never reused a tree: %+v", st)
+			}
+			if st.TreesRecomputed == 0 {
+				t.Fatalf("delta router never recomputed a tree: %+v", st)
+			}
+			t.Logf("stats: %+v (reuse ratio %.2f)", st,
+				float64(st.TreesReused)/float64(st.TreesReused+st.TreesRecomputed))
+		})
+	}
+}
+
+// TestDeltaRouterMovedList verifies the moved-arc report: every aggregate
+// difference between consecutive states is covered by the returned list.
+func TestDeltaRouterMovedList(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	g, tms := randomInstance(rng, 14, 20, 1)
+	m := g.NumEdges()
+	dr := NewDeltaRouter(g, tms...)
+	w := Uniform(m)
+	if err := dr.Route(w); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), dr.Loads[0]...)
+	for step := 0; step < 100; step++ {
+		id := graph.EdgeID(rng.IntN(m))
+		w[id] = 1 + rng.IntN(30)
+		moved, err := dr.Apply(w, []graph.EdgeID{id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		movedSet := map[graph.EdgeID]bool{}
+		for _, a := range moved {
+			movedSet[a] = true
+		}
+		for a := range dr.Loads[0] {
+			if dr.Loads[0][a] != before[a] && !movedSet[graph.EdgeID(a)] {
+				t.Fatalf("step %d: arc %d load moved %v -> %v but was not reported",
+					step, a, before[a], dr.Loads[0][a])
+			}
+		}
+		copy(before, dr.Loads[0])
+	}
+}
+
+// TestDeltaRouterApplyInvalidFallback checks that Apply on a never-routed
+// router performs a full route and reports every arc moved.
+func TestDeltaRouterApplyInvalidFallback(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	g, tms := randomInstance(rng, 8, 6, 1)
+	dr := NewDeltaRouter(g, tms...)
+	w := Uniform(g.NumEdges())
+	moved, err := dr.Apply(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != g.NumEdges() {
+		t.Fatalf("fallback reported %d moved arcs, want all %d", len(moved), g.NumEdges())
+	}
+	if dr.Stats().FullRoutes != 1 {
+		t.Fatalf("expected one full route, got %+v", dr.Stats())
+	}
+}
+
+// TestDiffArcs covers the arbitrary-transition diff helper.
+func TestDiffArcs(t *testing.T) {
+	a := Weights{1, 2, 3, Disabled, 5}
+	b := Weights{1, 7, 3, 4, 5}
+	diff := DiffArcs(a, b, nil)
+	if len(diff) != 2 || diff[0] != 1 || diff[1] != 3 {
+		t.Fatalf("DiffArcs = %v, want [1 3]", diff)
+	}
+}

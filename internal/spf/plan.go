@@ -20,8 +20,9 @@ type MultiPlan struct {
 	// Loads[i] is the per-arc volume of the i-th matrix after Route.
 	Loads [][]float64
 
-	demandBuf []float64
-	xiBuf     []float64
+	demandBuf   []float64
+	destScratch []float64 // per-destination load staging buffer
+	xiBuf       []float64
 }
 
 // NewMultiPlan prepares routing state for the union of destinations active
@@ -49,7 +50,29 @@ func NewMultiPlan(g *graph.Graph, tms ...*traffic.Matrix) *MultiPlan {
 	for i := range p.Loads {
 		p.Loads[i] = make([]float64, g.NumEdges())
 	}
+	p.destScratch = make([]float64, g.NumEdges())
 	return p
+}
+
+// CloneState returns an independent MultiPlan for the same instance, sharing
+// only the immutable destination index (dests, byID). Fresh trees, loads and
+// buffers are allocated, so the clone can route concurrently with the
+// original. This is what evaluator pools use: the O(n²) active-destination
+// scan happens once, not once per worker.
+func (p *MultiPlan) CloneState() *MultiPlan {
+	c := &MultiPlan{
+		g:     p.g,
+		comp:  NewComputer(p.g),
+		dests: p.dests,
+		byID:  p.byID,
+		trees: make([]Tree, len(p.dests)),
+		Loads: make([][]float64, len(p.Loads)),
+	}
+	for i := range c.Loads {
+		c.Loads[i] = make([]float64, p.g.NumEdges())
+	}
+	c.destScratch = make([]float64, p.g.NumEdges())
+	return c
 }
 
 // Destinations returns the active destination union.
@@ -57,6 +80,13 @@ func (p *MultiPlan) Destinations() []graph.NodeID { return p.dests }
 
 // Route computes shortest-path DAGs under w and aggregates each matrix's
 // demands into the corresponding Loads slice.
+//
+// Aggregation is grouped per destination: each destination's contribution is
+// routed into a zeroed staging buffer and then folded into the aggregate,
+// skipping zero entries. DeltaRouter reproduces exactly this floating-point
+// summation sequence when it re-aggregates only the arcs a weight change
+// touched, which is what makes incremental and full evaluation bitwise
+// equal.
 func (p *MultiPlan) Route(w Weights, tms ...*traffic.Matrix) error {
 	for i := range tms {
 		loads := p.Loads[i]
@@ -79,8 +109,18 @@ func (p *MultiPlan) Route(w Weights, tms ...*traffic.Matrix) error {
 			if !any {
 				continue
 			}
-			if err := p.comp.AddLoads(t, p.demandBuf, p.Loads[mi]); err != nil {
+			scratch := p.destScratch
+			for a := range scratch {
+				scratch[a] = 0
+			}
+			if err := p.comp.AddLoads(t, p.demandBuf, scratch); err != nil {
 				return err
+			}
+			loads := p.Loads[mi]
+			for a, v := range scratch {
+				if v != 0 {
+					loads[a] += v
+				}
 			}
 		}
 	}
@@ -121,6 +161,13 @@ type Plan struct {
 // NewPlan prepares routing state for the destinations active in tm.
 func NewPlan(g *graph.Graph, tm *traffic.Matrix) *Plan {
 	mp := NewMultiPlan(g, tm)
+	return &Plan{mp: mp, Loads: mp.Loads[0]}
+}
+
+// CloneState returns an independent Plan for the same instance, sharing only
+// the immutable destination index. See MultiPlan.CloneState.
+func (p *Plan) CloneState() *Plan {
+	mp := p.mp.CloneState()
 	return &Plan{mp: mp, Loads: mp.Loads[0]}
 }
 

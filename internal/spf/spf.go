@@ -62,11 +62,17 @@ const unreachable = math.MaxInt64
 // the ECMP DAG (per-node set of outgoing arcs on shortest paths toward
 // Dest), and the nodes in increasing-distance order. A Tree is filled by
 // Computer.Tree and remains valid until its next reuse.
+//
+// Order is canonical: reachable nodes sorted by (Dist, node ID). This makes
+// a Tree — and every load vector aggregated over it — a pure function of
+// (graph, weights, destination), independent of Dijkstra's tie-breaking
+// history. The incremental DeltaRouter relies on this to keep untouched
+// trees bitwise-identical to a from-scratch recomputation.
 type Tree struct {
 	Dest  graph.NodeID
 	Dist  []int64          // Dist[u]: shortest weighted distance u -> Dest
 	Next  [][]graph.EdgeID // Next[u]: arcs (u,v) with w(u,v)+Dist[v] == Dist[u]
-	Order []graph.NodeID   // reachable nodes sorted by increasing Dist (Dest first)
+	Order []graph.NodeID   // reachable nodes sorted by increasing (Dist, ID), Dest first
 }
 
 // Reaches reports whether u has a path to the destination.
@@ -86,15 +92,19 @@ func (t *Tree) NextHops(g *graph.Graph, u graph.NodeID) []graph.NodeID {
 // Computer per goroutine.
 type Computer struct {
 	g    *graph.Graph
+	csr  *graph.CSR // flat adjacency snapshot, the traversal hot path
 	heap nodeHeap
 	flow []float64 // buffer for load aggregation
 }
 
-// NewComputer returns a Computer for g.
+// NewComputer returns a Computer for g. The graph's structure and arc
+// attributes are snapshotted; mutate the graph only before creating
+// Computers over it.
 func NewComputer(g *graph.Graph) *Computer {
 	n := g.NumNodes()
 	return &Computer{
 		g:    g,
+		csr:  g.CSR(),
 		heap: newNodeHeap(n),
 		flow: make([]float64, n),
 	}
@@ -103,8 +113,8 @@ func NewComputer(g *graph.Graph) *Computer {
 // Tree computes the shortest-path DAG toward dest under w, storing the
 // result in t (its slices are reused when large enough).
 func (c *Computer) Tree(dest graph.NodeID, w Weights, t *Tree) {
-	g := c.g
-	n := g.NumNodes()
+	csr := c.csr
+	n := csr.NumNodes()
 	t.Dest = dest
 	if cap(t.Dist) < n {
 		t.Dist = make([]int64, n)
@@ -120,7 +130,8 @@ func (c *Computer) Tree(dest graph.NodeID, w Weights, t *Tree) {
 	}
 
 	// Dijkstra from dest over incoming arcs (reverse graph): Dist[u] is the
-	// distance from u to dest in the forward graph.
+	// distance from u to dest in the forward graph. The flat CSR run for
+	// node u replaces the per-node slice header chase and Edge struct loads.
 	h := &c.heap
 	h.reset()
 	t.Dist[dest] = 0
@@ -131,12 +142,13 @@ func (c *Computer) Tree(dest graph.NodeID, w Weights, t *Tree) {
 			continue // stale entry
 		}
 		t.Order = append(t.Order, u)
-		for _, id := range g.In(u) {
+		lo, hi := csr.InStart[u], csr.InStart[u+1]
+		for i := lo; i < hi; i++ {
+			id := csr.InArcs[i]
 			if w[id] == Disabled {
 				continue
 			}
-			e := g.Edge(id)
-			v := e.From
+			v := csr.InFrom[i]
 			alt := du + int64(w[id])
 			if alt < t.Dist[v] {
 				t.Dist[v] = alt
@@ -145,17 +157,36 @@ func (c *Computer) Tree(dest graph.NodeID, w Weights, t *Tree) {
 		}
 	}
 
+	// Canonicalize Order: Dijkstra emits nodes in increasing distance but
+	// breaks ties by heap history, which depends on the weights of arcs off
+	// the shortest paths. Sorting each equal-distance run by node ID makes
+	// the tree (and any load aggregation over it) a pure function of the
+	// inputs. Runs are typically tiny, so insertion sort per run is cheap
+	// and allocation-free.
+	order := t.Order
+	for i := 1; i < len(order); i++ {
+		u := order[i]
+		du := t.Dist[u]
+		j := i
+		for j > 0 && t.Dist[order[j-1]] == du && order[j-1] > u {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = u
+	}
+
 	// ECMP DAG: arc (u,v) is on a shortest path iff w + Dist[v] == Dist[u].
-	for _, e := range g.Edges() {
-		if w[e.ID] == Disabled {
+	// Arc-ID iteration order makes every Next list deterministic.
+	for id := 0; id < len(w); id++ {
+		if w[id] == Disabled {
 			continue
 		}
-		dv := t.Dist[e.To]
+		dv := t.Dist[csr.To[id]]
 		if dv == unreachable {
 			continue
 		}
-		if dv+int64(w[e.ID]) == t.Dist[e.From] {
-			t.Next[e.From] = append(t.Next[e.From], e.ID)
+		if from := csr.From[id]; dv+int64(w[id]) == t.Dist[from] {
+			t.Next[from] = append(t.Next[from], graph.EdgeID(id))
 		}
 	}
 }
@@ -180,7 +211,10 @@ func (c *Computer) AddLoads(t *Tree, demand []float64, loads []float64) error {
 		flow[u] = d
 	}
 	// Process nodes farthest-first so all upstream contributions to a node
-	// are accumulated before its own flow is split.
+	// are accumulated before its own flow is split. Order is canonical, so
+	// the floating-point accumulation sequence — and thus the exact load
+	// values — depend only on (graph, weights, demand).
+	to := c.csr.To
 	for i := len(t.Order) - 1; i >= 0; i-- {
 		u := t.Order[i]
 		f := flow[u]
@@ -190,7 +224,7 @@ func (c *Computer) AddLoads(t *Tree, demand []float64, loads []float64) error {
 		share := f / float64(len(t.Next[u]))
 		for _, id := range t.Next[u] {
 			loads[id] += share
-			flow[c.g.Edge(id).To] += share
+			flow[to[id]] += share
 		}
 	}
 	return nil
