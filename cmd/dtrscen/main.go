@@ -14,6 +14,12 @@
 // per-load-point mean/p50/p95 summary table. Re-running the same spec with
 // the same seed yields identical trial records and aggregates regardless of
 // -workers.
+//
+// Campaign specs can attach a failure model ({"failures": {"kind": "link",
+// "count": 2, "sample": 20, "robust": true}}; kinds link|node|srlg): each
+// trial's final weights are swept over the model's states through the
+// incremental sweep engine, and "robust" additionally makes the DTR search
+// failure-aware. See cmd/dtrfail for one-off sweeps outside a campaign.
 package main
 
 import (

@@ -55,6 +55,7 @@ import (
 	"dualtopo/internal/graph"
 	"dualtopo/internal/ospf"
 	"dualtopo/internal/qsim"
+	"dualtopo/internal/resilience"
 	"dualtopo/internal/scenario"
 	"dualtopo/internal/search"
 	"dualtopo/internal/spf"
@@ -331,6 +332,52 @@ func ScenarioPresets() []Scenario { return scenario.Presets() }
 
 // ScenarioPreset resolves one bundled campaign by name.
 func ScenarioPreset(name string) (Scenario, bool) { return scenario.PresetByName(name) }
+
+// Resilience: failure models and delta-powered failure sweeps.
+type (
+	// FailureModel selects a failure-state family (single/dual link, node,
+	// SRLG) plus seeded sampling.
+	FailureModel = resilience.Model
+	// FailureState is one failure state: the arcs that go down together.
+	FailureState = resilience.State
+	// FailureSweeper evaluates routings under failure states through the
+	// incremental routing core (disable → delta objective → repair).
+	FailureSweeper = resilience.Sweeper
+	// FailureSweepOptions toggles full re-evaluation or delta/full verify.
+	FailureSweepOptions = resilience.Options
+	// FailureSamples holds both schemes' per-state ΦL degradation factors.
+	FailureSamples = resilience.Samples
+	// FailureSummary condenses FailureSamples for records and aggregates.
+	FailureSummary = resilience.Summary
+	// RobustParams makes the DTR search failure-aware.
+	RobustParams = search.RobustParams
+	// RobustScore reports a robust search's failure-aware solution metrics.
+	RobustScore = search.RobustScore
+)
+
+// Failure-model kinds.
+const (
+	FailLink = resilience.KindLink
+	FailNode = resilience.KindNode
+	FailSRLG = resilience.KindSRLG
+)
+
+// EnumerateFailures expands a failure model into its deterministic
+// (optionally seeded-sampled) state list over g.
+func EnumerateFailures(g *Graph, m FailureModel) ([]FailureState, error) {
+	return resilience.Enumerate(g, m)
+}
+
+// NewFailureSweeper builds a sweeper over e's problem instance.
+func NewFailureSweeper(e *Evaluator, opts FailureSweepOptions) *FailureSweeper {
+	return resilience.NewSweeper(e, opts)
+}
+
+// CompareUnderFailures sweeps both schemes' weight settings over the same
+// failure states and pairs the ΦL degradations.
+func CompareUnderFailures(sw *FailureSweeper, wSTR, wH, wL Weights, states []FailureState) (*FailureSamples, error) {
+	return resilience.CompareSchemes(sw, wSTR, wH, wL, states)
+}
 
 // Experiments (§5).
 type (

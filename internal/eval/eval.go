@@ -275,6 +275,13 @@ func (e *Evaluator) Clone() *Evaluator {
 	}
 }
 
+// ResetDelta discards the incremental evaluation state backing the
+// Objective*Delta paths, forcing the next delta call to re-prime with a full
+// route. Searches call this when they start so that a reused Evaluator
+// cannot leak a previous run's router position into the changed-arc
+// contract (which would silently desynchronize delta from full evaluation).
+func (e *Evaluator) ResetDelta() { e.deltaH, e.deltaL, e.deltaSTR = nil, nil, nil }
+
 // Graph returns the underlying graph.
 func (e *Evaluator) Graph() *graph.Graph { return e.g }
 

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"dualtopo/internal/eval"
-	"dualtopo/internal/scenario"
+	"dualtopo/internal/resilience"
 	"dualtopo/internal/stats"
 )
 
@@ -18,9 +18,9 @@ func init() {
 
 // runExtFail is an extension beyond the paper (suggested by its resilience
 // related-work, [7-9]): how fragile are the optimized weight settings when a
-// link fails and OSPF reconverges with unchanged weights? The scenario
-// engine's failure sweep re-evaluates both schemes on every surviving
-// topology; this runner reports the distribution of low-priority cost
+// link fails and OSPF reconverges with unchanged weights? The resilience
+// sweep engine threads every single-link failure through the incremental
+// routing core; this runner reports the distribution of low-priority cost
 // degradation.
 func runExtFail(p Preset) (*Report, error) {
 	spec := InstanceSpec{Topology: TopoRandom, Kind: eval.LoadBased, TargetUtil: 0.6, Seed: 1101}
@@ -28,7 +28,16 @@ func runExtFail(p Preset) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs, err := scenario.SingleLinkFailures(pt, 0)
+	states, err := resilience.Enumerate(pt.Inst.G, resilience.Model{Kind: resilience.KindLink})
+	if err != nil {
+		return nil, err
+	}
+	e, err := pt.Inst.Evaluator()
+	if err != nil {
+		return nil, err
+	}
+	sw := resilience.NewSweeper(e, resilience.Options{})
+	fs, err := resilience.CompareSchemes(sw, pt.STR.W, pt.DTR.WH, pt.DTR.WL, states)
 	if err != nil {
 		return nil, err
 	}

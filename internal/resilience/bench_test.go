@@ -1,0 +1,72 @@
+package resilience_test
+
+// BenchmarkFailureSweep pins the tentpole speedup: sweeping every
+// single-link failure of the paper's 30-node instance through the
+// incremental engine (disable → delta objective → repair) versus full
+// re-evaluation per state. The external test package lets the benchmark
+// build its instance through the scenario machinery without an import
+// cycle.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualtopo/internal/eval"
+	"dualtopo/internal/resilience"
+	"dualtopo/internal/scenario"
+	"dualtopo/internal/spf"
+)
+
+func benchSetup(b *testing.B) (*eval.Evaluator, []resilience.State, [3]spf.Weights) {
+	b.Helper()
+	spec := scenario.InstanceSpec{Topology: scenario.TopoRandom, Kind: eval.LoadBased, TargetUtil: 0.6, Seed: 1101}
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := inst.Evaluator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	states, err := resilience.Enumerate(inst.G, resilience.Model{Kind: resilience.KindLink})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	var ws [3]spf.Weights
+	for i := range ws {
+		w := make(spf.Weights, inst.G.NumEdges())
+		for a := range w {
+			w[a] = 1 + rng.IntN(20)
+		}
+		ws[i] = w
+	}
+	return e, states, ws
+}
+
+func BenchmarkFailureSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts resilience.Options
+	}{
+		{"delta", resilience.Options{}},
+		{"full", resilience.Options{FullEval: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e, states, ws := benchSetup(b)
+			sw := resilience.NewSweeper(e, mode.opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fs, err := resilience.CompareSchemes(sw, ws[0], ws[1], ws[2], states)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fs.STR) == 0 {
+					b.Fatal("no surviving states")
+				}
+			}
+			b.ReportMetric(float64(len(states)), "states")
+		})
+	}
+}

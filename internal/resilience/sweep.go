@@ -1,0 +1,362 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+
+	"dualtopo/internal/cost"
+	"dualtopo/internal/eval"
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+	"dualtopo/internal/traffic"
+)
+
+// Options configures how a Sweeper evaluates failure states.
+type Options struct {
+	// FullEval evaluates every state with a from-scratch EvaluateSTR /
+	// EvaluateDTR instead of the incremental disable → delta → repair path.
+	// Exists as the baseline for benchmarks and the Verify oracle.
+	FullEval bool
+	// Verify runs the delta path but re-evaluates every state (and the
+	// intact baseline) from scratch too, failing the sweep on any bitwise
+	// disagreement — including disagreement about disconnection. Debug mode.
+	Verify bool
+}
+
+// Sweeper evaluates routings under failure states for one problem instance.
+// Each sweep threads every state's arc set through the incremental routing
+// core: disable the arcs (delta Apply), re-reduce the low-priority objective
+// over the maintained per-arc cost vector, then repair (delta Apply back).
+// Results are bitwise-identical to evaluating each surviving topology from
+// scratch; states whose failure leaves some demand unreachable are marked
+// disconnecting (NaN) and the routers recover via a full fallback route.
+//
+// A Sweeper is not safe for concurrent use; give each goroutine its own.
+type Sweeper struct {
+	g        *graph.Graph
+	th, tl   *traffic.Matrix
+	capacity []float64
+	e        *eval.Evaluator // pooled clone backing the full/verify paths
+	opts     Options
+
+	str *sweepEngine // both classes on one router (STR)
+	dtr *sweepEngine // one router per class (DTR)
+}
+
+// NewSweeper builds a sweeper over e's problem instance. The evaluator is
+// cloned, so e's own routing plans are never disturbed.
+func NewSweeper(e *eval.Evaluator, opts Options) *Sweeper {
+	g := e.Graph()
+	th, tl := e.Matrices()
+	return &Sweeper{
+		g:        g,
+		th:       th,
+		tl:       tl,
+		capacity: g.CSR().Capacity,
+		e:        e.Clone(),
+		opts:     opts,
+	}
+}
+
+// Sweep is the outcome of evaluating one routing under a state set.
+type Sweep struct {
+	// Base is the intact-network ΦL, bitwise-equal to the full evaluation's.
+	Base float64
+	// PhiL holds the per-state low-priority cost, parallel to the swept
+	// states; disconnecting states are NaN. The slice is reused by the
+	// sweeper's next sweep of the same scheme.
+	PhiL []float64
+	// Survivors and Disconnecting partition the states.
+	Survivors, Disconnecting int
+}
+
+// sweepEngine is the per-scheme incremental state: one or two delta routers
+// pinned to a base weight setting, plus the per-arc ΦL vector kept current
+// across disable/repair transitions. For STR both matrices ride one router
+// (drL == nil); for DTR each class has its own.
+type sweepEngine struct {
+	drH, drL *spf.DeltaRouter
+	// baseH/baseL snapshot the intact weights; bufH/bufL are the working
+	// copies that states mutate to Disabled and back.
+	baseH, baseL spf.Weights
+	bufH, bufL   spf.Weights
+	linkPhiL     []float64
+	diffBuf      []graph.EdgeID
+	phiBuf       []float64
+}
+
+func (s *Sweeper) engine(dual bool) *sweepEngine {
+	slot := &s.str
+	if dual {
+		slot = &s.dtr
+	}
+	if *slot != nil {
+		return *slot
+	}
+	m := s.g.NumEdges()
+	en := &sweepEngine{
+		baseH:    make(spf.Weights, m),
+		bufH:     make(spf.Weights, m),
+		linkPhiL: make([]float64, m),
+	}
+	if dual {
+		en.drH = spf.NewDeltaRouter(s.g, s.th)
+		en.drL = spf.NewDeltaRouter(s.g, s.tl)
+		en.baseL = make(spf.Weights, m)
+		en.bufL = make(spf.Weights, m)
+	} else {
+		en.drH = spf.NewDeltaRouter(s.g, s.th, s.tl)
+	}
+	*slot = en
+	return en
+}
+
+// loads returns the engine's current per-arc class loads.
+func (en *sweepEngine) loads() (h, l []float64) {
+	if en.drL != nil {
+		return en.drH.Loads[0], en.drL.Loads[0]
+	}
+	return en.drH.Loads[0], en.drH.Loads[1]
+}
+
+// rescore recomputes the per-arc ΦL of the listed arcs from the current
+// loads — the same per-arc expression eval's full paths use.
+func (s *Sweeper) rescore(en *sweepEngine, arcs []graph.EdgeID) {
+	h, l := en.loads()
+	for _, a := range arcs {
+		en.linkPhiL[a] = cost.Phi(l[a], cost.Residual(s.capacity[a], h[a]))
+	}
+}
+
+// rescoreAll recomputes every arc — the recovery path after a full fallback
+// route rewrote the load vectors wholesale.
+func (s *Sweeper) rescoreAll(en *sweepEngine) {
+	h, l := en.loads()
+	for a := range en.linkPhiL {
+		en.linkPhiL[a] = cost.Phi(l[a], cost.Residual(s.capacity[a], h[a]))
+	}
+}
+
+// sum re-reduces ΦL in ascending arc order — the exact summation sequence
+// Evaluator.finish performs, which is what makes delta sweeps bitwise-equal
+// to full evaluation.
+func (en *sweepEngine) sum() float64 {
+	phiL := 0.0
+	for _, v := range en.linkPhiL {
+		phiL += v
+	}
+	return phiL
+}
+
+// moveRouter transitions one router to w (exact diff against its current
+// setting) and rescores whatever moved. A router without valid state — first
+// use, or after an error — full-routes and triggers a full rescore via the
+// returned all-arcs moved set.
+func (s *Sweeper) moveRouter(en *sweepEngine, dr *spf.DeltaRouter, w spf.Weights) error {
+	en.diffBuf = spf.DiffArcs(dr.Weights(), w, en.diffBuf[:0])
+	moved, err := dr.Apply(w, en.diffBuf)
+	if err != nil {
+		return err
+	}
+	s.rescore(en, moved)
+	return nil
+}
+
+// move pins the engine's base routing, rescoring incrementally from wherever
+// the routers currently sit.
+func (s *Sweeper) move(en *sweepEngine, wH, wL spf.Weights) error {
+	if err := s.moveRouter(en, en.drH, wH); err != nil {
+		return err
+	}
+	copy(en.baseH, wH)
+	copy(en.bufH, wH)
+	if en.drL != nil {
+		if err := s.moveRouter(en, en.drL, wL); err != nil {
+			return err
+		}
+		copy(en.baseL, wL)
+		copy(en.bufL, wL)
+	}
+	return nil
+}
+
+// SweepSTR evaluates the single-topology routing w under every state,
+// returning per-state ΦL. The result's PhiL slice is reused by the next
+// SweepSTR call.
+func (s *Sweeper) SweepSTR(w spf.Weights, states []State) (*Sweep, error) {
+	if s.opts.FullEval {
+		return s.sweepFull(states, w, nil, false)
+	}
+	return s.sweepDelta(s.engine(false), w, nil, states)
+}
+
+// SweepDTR evaluates the dual-topology routing (wH, wL) under every state.
+// Both topologies lose the same arcs per state, per the failure model. The
+// result's PhiL slice is reused by the next SweepDTR call.
+func (s *Sweeper) SweepDTR(wH, wL spf.Weights, states []State) (*Sweep, error) {
+	if s.opts.FullEval {
+		return s.sweepFull(states, wH, wL, true)
+	}
+	return s.sweepDelta(s.engine(true), wH, wL, states)
+}
+
+// fullPhiL evaluates one (possibly failed) weight setting from scratch.
+func (s *Sweeper) fullPhiL(dual bool, wH, wL spf.Weights) (float64, error) {
+	if dual {
+		r, err := s.e.EvaluateDTR(wH, wL)
+		if err != nil {
+			return 0, err
+		}
+		return r.PhiL, nil
+	}
+	r, err := s.e.EvaluateSTR(wH)
+	if err != nil {
+		return 0, err
+	}
+	return r.PhiL, nil
+}
+
+// sweepFull is the opt-out path: every state is a from-scratch evaluation on
+// WithFailedArcs copies, exactly what the pre-delta failure sweep did.
+func (s *Sweeper) sweepFull(states []State, wH, wL spf.Weights, dual bool) (*Sweep, error) {
+	base, err := s.fullPhiL(dual, wH, wL)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{Base: base, PhiL: make([]float64, len(states))}
+	for i, st := range states {
+		fwH := wH.WithFailedArcs(st.Arcs...)
+		var fwL spf.Weights
+		if dual {
+			fwL = wL.WithFailedArcs(st.Arcs...)
+		}
+		phiL, err := s.fullPhiL(dual, fwH, fwL)
+		if err != nil {
+			sw.PhiL[i] = math.NaN()
+			sw.Disconnecting++
+			continue
+		}
+		sw.PhiL[i] = phiL
+		sw.Survivors++
+	}
+	return sw, nil
+}
+
+// sweepDelta is the fast path: pin the base routing, then per state disable
+// the arcs, re-reduce ΦL over the moved arcs, and repair.
+func (s *Sweeper) sweepDelta(en *sweepEngine, wH, wL spf.Weights, states []State) (*Sweep, error) {
+	if err := s.move(en, wH, wL); err != nil {
+		return nil, err
+	}
+	if cap(en.phiBuf) < len(states) {
+		en.phiBuf = make([]float64, len(states))
+	}
+	sw := &Sweep{Base: en.sum(), PhiL: en.phiBuf[:len(states)]}
+	if s.opts.Verify {
+		full, err := s.fullPhiL(en.drL != nil, wH, wL)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: verify: intact network failed full evaluation: %w", err)
+		}
+		if full != sw.Base {
+			return nil, fmt.Errorf("resilience: verify: intact ΦL delta %v != full %v", sw.Base, full)
+		}
+	}
+	for i, st := range states {
+		phiL, ok, err := s.evalState(en, st)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			sw.PhiL[i] = math.NaN()
+			sw.Disconnecting++
+		} else {
+			sw.PhiL[i] = phiL
+			sw.Survivors++
+		}
+		if s.opts.Verify {
+			if err := s.verifyState(en, st, phiL, ok); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sw, nil
+}
+
+// evalState scores one failure state and restores the engine to its base
+// routing. ok reports whether the state left every demand connected.
+//
+// The state is threaded through the incremental core: checkpoint, disable
+// the arcs (a pure weight increase, served by the partial SPF path),
+// re-reduce ΦL over the moved arcs, then Revert — a support-sized rollback
+// that never recomputes, even when the failure disconnected a demand and
+// invalidated a router mid-apply.
+func (s *Sweeper) evalState(en *sweepEngine, st State) (phiL float64, ok bool, err error) {
+	if err := en.drH.Checkpoint(); err != nil {
+		return 0, false, err
+	}
+	if en.drL != nil {
+		if err := en.drL.Checkpoint(); err != nil {
+			return 0, false, err
+		}
+	}
+	for _, a := range st.Arcs {
+		en.bufH[a] = spf.Disabled
+		if en.bufL != nil {
+			en.bufL[a] = spf.Disabled
+		}
+	}
+	movedH, errH := en.drH.Apply(en.bufH, st.Arcs)
+	var movedL []graph.EdgeID
+	var errL error
+	if errH == nil && en.drL != nil {
+		movedL, errL = en.drL.Apply(en.bufL, st.Arcs)
+	}
+	ok = errH == nil && errL == nil
+	if ok {
+		s.rescore(en, movedH)
+		if en.drL != nil {
+			s.rescore(en, movedL)
+		}
+		phiL = en.sum()
+	}
+	en.drH.Revert()
+	if en.drL != nil {
+		en.drL.Revert()
+	}
+	for _, a := range st.Arcs {
+		en.bufH[a] = en.baseH[a]
+		if en.bufL != nil {
+			en.bufL[a] = en.baseL[a]
+		}
+	}
+	if ok {
+		// The rolled-back loads are the base loads again; re-scoring the
+		// same moved arcs restores the ΦL vector bitwise.
+		s.rescore(en, movedH)
+		if en.drL != nil {
+			s.rescore(en, movedL)
+		}
+	}
+	return phiL, ok, nil
+}
+
+// verifyState asserts the delta outcome of one state — its ΦL and its
+// disconnection verdict — against a from-scratch evaluation.
+func (s *Sweeper) verifyState(en *sweepEngine, st State, phiL float64, ok bool) error {
+	dual := en.drL != nil
+	fwH := en.baseH.WithFailedArcs(st.Arcs...)
+	var fwL spf.Weights
+	if dual {
+		fwL = en.baseL.WithFailedArcs(st.Arcs...)
+	}
+	full, err := s.fullPhiL(dual, fwH, fwL)
+	switch {
+	case err != nil && ok:
+		return fmt.Errorf("resilience: verify %q: delta survived, full evaluation disconnected: %v", st.Label, err)
+	case err == nil && !ok:
+		return fmt.Errorf("resilience: verify %q: delta disconnected, full evaluation survived (ΦL %v)", st.Label, full)
+	case err == nil && full != phiL:
+		return fmt.Errorf("resilience: verify %q: delta ΦL %v != full %v", st.Label, phiL, full)
+	}
+	return nil
+}

@@ -48,10 +48,20 @@ type PointSummary struct {
 	DTRViolations Aggregate `json:"dtr_violations"`
 
 	// Failure degradation aggregates, present when the campaign evaluated
-	// link failures: the per-trial mean ΦL degradation factor of each
-	// scheme, aggregated across trials.
-	STRFailDegr *Aggregate `json:"str_fail_degradation,omitempty"`
-	DTRFailDegr *Aggregate `json:"dtr_fail_degradation,omitempty"`
+	// failures: per-trial mean, p95 and worst-case ΦL degradation factors of
+	// each scheme, aggregated across trials.
+	STRFailDegr  *Aggregate `json:"str_fail_degradation,omitempty"`
+	DTRFailDegr  *Aggregate `json:"dtr_fail_degradation,omitempty"`
+	STRFailP95   *Aggregate `json:"str_fail_p95,omitempty"`
+	DTRFailP95   *Aggregate `json:"dtr_fail_p95,omitempty"`
+	STRFailWorst *Aggregate `json:"str_fail_worst,omitempty"`
+	DTRFailWorst *Aggregate `json:"dtr_fail_worst,omitempty"`
+
+	// Robust-search aggregates, present when the campaign enabled the
+	// failure-aware DTR search: the composite objective and worst-state ΦL
+	// of the returned solutions.
+	RobustComposite *Aggregate `json:"robust_composite,omitempty"`
+	RobustWorstPhiL *Aggregate `json:"robust_worst_phi_l,omitempty"`
 }
 
 // summarizePoints groups trials (already in work-list order) by point and
@@ -92,10 +102,22 @@ func summarizePoints(spec Spec, trials []TrialResult) []PointSummary {
 			DTRViolations: pick(func(t TrialResult) float64 { return float64(t.DTR.Violations) }),
 		}
 		if group[0].Failures != nil {
-			str := pick(func(t TrialResult) float64 { return t.Failures.STRMeanDegr })
-			dtr := pick(func(t TrialResult) float64 { return t.Failures.DTRMeanDegr })
-			ps.STRFailDegr = &str
-			ps.DTRFailDegr = &dtr
+			agg := func(f func(TrialResult) float64) *Aggregate {
+				a := pick(f)
+				return &a
+			}
+			ps.STRFailDegr = agg(func(t TrialResult) float64 { return t.Failures.STR.MeanDegr })
+			ps.DTRFailDegr = agg(func(t TrialResult) float64 { return t.Failures.DTR.MeanDegr })
+			ps.STRFailP95 = agg(func(t TrialResult) float64 { return t.Failures.STR.P95Degr })
+			ps.DTRFailP95 = agg(func(t TrialResult) float64 { return t.Failures.DTR.P95Degr })
+			ps.STRFailWorst = agg(func(t TrialResult) float64 { return t.Failures.STR.MaxDegr })
+			ps.DTRFailWorst = agg(func(t TrialResult) float64 { return t.Failures.DTR.MaxDegr })
+		}
+		if group[0].Robust != nil {
+			comp := pick(func(t TrialResult) float64 { return t.Robust.Composite })
+			worst := pick(func(t TrialResult) float64 { return t.Robust.WorstPhiL })
+			ps.RobustComposite = &comp
+			ps.RobustWorstPhiL = &worst
 		}
 		summaries = append(summaries, ps)
 	}
@@ -117,12 +139,12 @@ func (r *CampaignResult) SummaryTable() string {
 		"maxU.STR", "maxU.DTR",
 	}
 	sla := r.Spec.Objective.Kind == "sla"
-	failures := r.Spec.Failures.SingleLink
+	failures := r.Spec.Failures.Enabled()
 	if sla {
 		header = append(header, "vio.STR", "vio.DTR")
 	}
 	if failures {
-		header = append(header, "fail.STR", "fail.DTR")
+		header = append(header, "fail.STR", "fail.DTR", "worst.STR", "worst.DTR")
 	}
 	rows := make([][]string, 0, len(r.Points))
 	for _, ps := range r.Points {
@@ -147,14 +169,14 @@ func (r *CampaignResult) SummaryTable() string {
 				fmt.Sprintf("%.1f", ps.DTRViolations.Mean))
 		}
 		if failures {
-			strF, dtrF := "n/a", "n/a"
-			if ps.STRFailDegr != nil {
-				strF = fmt.Sprintf("%.2f", ps.STRFailDegr.Mean)
+			cell := func(a *Aggregate) string {
+				if a == nil {
+					return "n/a"
+				}
+				return fmt.Sprintf("%.2f", a.Mean)
 			}
-			if ps.DTRFailDegr != nil {
-				dtrF = fmt.Sprintf("%.2f", ps.DTRFailDegr.Mean)
-			}
-			row = append(row, strF, dtrF)
+			row = append(row, cell(ps.STRFailDegr), cell(ps.DTRFailDegr),
+				cell(ps.STRFailWorst), cell(ps.DTRFailWorst))
 		}
 		rows = append(rows, row)
 	}

@@ -7,6 +7,8 @@ import (
 
 	"dualtopo/internal/eval"
 	"dualtopo/internal/graph"
+	"dualtopo/internal/resilience"
+	"dualtopo/internal/search"
 )
 
 // ClassMetrics is one scheme's slice of the paper's metrics for one trial.
@@ -34,18 +36,23 @@ func classMetrics(g *graph.Graph, r *eval.Result, evals int64) ClassMetrics {
 // stream. All fields except ElapsedMs are deterministic functions of the
 // spec.
 type TrialResult struct {
-	Campaign     string          `json:"campaign"`
-	Point        int             `json:"point"`
-	TargetUtil   float64         `json:"target_util"`
-	Trial        int             `json:"trial"`
-	Seed         uint64          `json:"seed"`
-	ElapsedMs    float64         `json:"elapsed_ms"`
-	MeasuredUtil float64         `json:"measured_util"`
-	RH           float64         `json:"rh"`
-	RL           float64         `json:"rl"`
-	STR          ClassMetrics    `json:"str"`
-	DTR          ClassMetrics    `json:"dtr"`
-	Failures     *FailureSummary `json:"failures,omitempty"`
+	Campaign     string       `json:"campaign"`
+	Point        int          `json:"point"`
+	TargetUtil   float64      `json:"target_util"`
+	Trial        int          `json:"trial"`
+	Seed         uint64       `json:"seed"`
+	ElapsedMs    float64      `json:"elapsed_ms"`
+	MeasuredUtil float64      `json:"measured_util"`
+	RH           float64      `json:"rh"`
+	RL           float64      `json:"rl"`
+	STR          ClassMetrics `json:"str"`
+	DTR          ClassMetrics `json:"dtr"`
+	// Failures summarizes the post-optimization failure sweep, when the
+	// campaign configured one.
+	Failures *resilience.Summary `json:"failures,omitempty"`
+	// Robust reports the failure-aware DTR search score, when the campaign
+	// enabled robust search.
+	Robust *search.RobustScore `json:"robust,omitempty"`
 }
 
 // Progress reports campaign execution state after each completed trial.
@@ -170,12 +177,23 @@ func runTrial(spec Spec, it WorkItem, b Budget) (TrialResult, error) {
 		STR:          classMetrics(pt.Inst.G, pt.STR.Result, pt.STR.Evaluations),
 		DTR:          classMetrics(pt.Inst.G, pt.DTR.Result, pt.DTR.Evaluations),
 	}
-	if spec.Failures.SingleLink {
-		fs, err := SingleLinkFailures(pt, spec.Failures.MaxLinks)
+	tr.Robust = pt.DTR.Robust
+	if spec.Failures.Enabled() {
+		model := spec.Failures.Model(it.Spec.Seed)
+		states, err := resilience.Enumerate(pt.Inst.G, model)
 		if err != nil {
 			return TrialResult{}, err
 		}
-		tr.Failures = fs.Summary()
+		e, err := pt.Inst.Evaluator()
+		if err != nil {
+			return TrialResult{}, err
+		}
+		sw := resilience.NewSweeper(e, resilience.Options{})
+		fs, err := resilience.CompareSchemes(sw, pt.STR.W, pt.DTR.WH, pt.DTR.WL, states)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		tr.Failures = fs.Summary(model.String())
 	}
 	tr.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 	return tr, nil

@@ -123,7 +123,7 @@ func TestRunShapeAndCallbacks(t *testing.T) {
 }
 
 // TestRunWithFailures checks the failure sweep feeds trial records and
-// aggregates.
+// aggregates, for the legacy single-link toggle and a sampled modern model.
 func TestRunWithFailures(t *testing.T) {
 	spec := fastSpec()
 	spec.Topology.Family = TopoISP // small: 35 link failures per trial
@@ -141,11 +141,75 @@ func TestRunWithFailures(t *testing.T) {
 	if tr.Failures.Evaluated == 0 || tr.Failures.Evaluated > 6 {
 		t.Fatalf("evaluated = %d, want (0,6]", tr.Failures.Evaluated)
 	}
-	if tr.Failures.STRMeanDegr <= 0 || tr.Failures.DTRMeanDegr <= 0 {
+	if tr.Failures.Model != "link(sample=6)" {
+		t.Fatalf("model = %q, want link(sample=6)", tr.Failures.Model)
+	}
+	if tr.Failures.STR.MeanDegr <= 0 || tr.Failures.DTR.MeanDegr <= 0 {
 		t.Fatalf("degradations = %+v", tr.Failures)
 	}
-	if res.Points[0].STRFailDegr == nil || res.Points[0].DTRFailDegr == nil {
+	if tr.Failures.STR.WorstState == "" || tr.Failures.DTR.WorstState == "" {
+		t.Fatalf("no worst-state labels: %+v", tr.Failures)
+	}
+	ps := res.Points[0]
+	if ps.STRFailDegr == nil || ps.DTRFailDegr == nil {
 		t.Fatal("failure aggregates missing from point summary")
+	}
+	if ps.STRFailP95 == nil || ps.DTRFailWorst == nil {
+		t.Fatal("failure percentile aggregates missing from point summary")
+	}
+	if tr.Robust != nil || ps.RobustComposite != nil {
+		t.Fatal("robust metrics present on a non-robust campaign")
+	}
+
+	// A dual-link sampled model on the same instance.
+	spec.Failures = FailureSpec{Kind: "link", Count: 2, Sample: 5}
+	res, err = Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = res.Trials[0]
+	if tr.Failures == nil || tr.Failures.Model != "dual-link(sample=5)" {
+		t.Fatalf("dual-link trial summary = %+v", tr.Failures)
+	}
+}
+
+// TestRunWithRobustSearch checks the failure-aware search rides through the
+// engine: robust metrics on trials and aggregates, deterministic across
+// worker counts.
+func TestRunWithRobustSearch(t *testing.T) {
+	spec := fastSpec()
+	spec.Topology.Family = TopoISP
+	spec.Loads = []float64{0.5}
+	spec.Trials = 2
+	spec.Budget = BudgetSpec{Tier: "tiny", DTRIters: 15, DTRRefine: 10, STRIters: 30}
+	spec.Failures = FailureSpec{SingleLink: true, Sample: 4, Robust: true}
+	var blobs [][]byte
+	for _, workers := range []int{1, 3} {
+		res, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := res.Trials[0]
+		if tr.Robust == nil {
+			t.Fatal("no robust score on trial")
+		}
+		if tr.Robust.States < 1 || tr.Robust.States > 4 {
+			t.Fatalf("robust states = %d, want (0,4]", tr.Robust.States)
+		}
+		if tr.Robust.WorstState == "" || tr.Robust.Composite <= 0 {
+			t.Fatalf("robust score = %+v", tr.Robust)
+		}
+		if res.Points[0].RobustComposite == nil || res.Points[0].RobustWorstPhiL == nil {
+			t.Fatal("robust aggregates missing from point summary")
+		}
+		blob, err := res.AggregatesJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Errorf("robust aggregates differ across worker counts:\n%s\nvs\n%s", blobs[0], blobs[1])
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"dualtopo/internal/eval"
+	"dualtopo/internal/resilience"
 	"dualtopo/internal/search"
 )
 
@@ -95,6 +96,13 @@ func RunPoint(spec InstanceSpec, b Budget) (*Point, error) {
 	}
 	dtrParams := b.DTR
 	dtrParams.Seed = spec.Seed*2 + 2
+	if spec.Robust != nil {
+		states, err := resilience.Enumerate(inst.G, *spec.Robust)
+		if err != nil {
+			return nil, err
+		}
+		dtrParams.Robust = search.RobustParams{States: states, Alpha: robustAlpha, Beta: robustBeta}
+	}
 	dtrRes, err := search.DTRFrom(e, strRes.W, strRes.W, dtrParams)
 	if err != nil {
 		return nil, err

@@ -90,6 +90,17 @@ var presetLibrary = []Spec{
 		Seed:        8,
 		Failures:    FailureSpec{SingleLink: true},
 	},
+	{
+		Name:        "isp-robust-dual-link",
+		Description: "resilience: failure-aware (robust) DTR search on the ISP backbone, swept over sampled dual-link failures",
+		Topology:    TopologySpec{Family: TopoISP},
+		Traffic:     TrafficSpec{HighModel: HPRandom},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.6},
+		Trials:      2,
+		Seed:        9,
+		Failures:    FailureSpec{Kind: "link", Count: 2, Sample: 16, Robust: true},
+	},
 }
 
 // Presets returns the bundled campaign library in display order. Every spec
@@ -102,9 +113,16 @@ func Presets() []Spec {
 	return out
 }
 
-// clone deep-copies the spec (Loads is its only reference field).
+// clone deep-copies the spec's reference fields (Loads and SRLG groups).
 func (s Spec) clone() Spec {
 	s.Loads = append([]float64(nil), s.Loads...)
+	if s.Failures.SRLGs != nil {
+		groups := make([][]int, len(s.Failures.SRLGs))
+		for i, g := range s.Failures.SRLGs {
+			groups[i] = append([]int(nil), g...)
+		}
+		s.Failures.SRLGs = groups
+	}
 	return s
 }
 

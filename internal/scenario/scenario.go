@@ -23,6 +23,7 @@ import (
 	"dualtopo/internal/cost"
 	"dualtopo/internal/eval"
 	"dualtopo/internal/graph"
+	"dualtopo/internal/resilience"
 	"dualtopo/internal/spf"
 	"dualtopo/internal/stats"
 	"dualtopo/internal/topo"
@@ -58,6 +59,10 @@ type InstanceSpec struct {
 	Sinks        int // sink-model sink count; 0 means 3
 	TargetUtil   float64
 	Seed         uint64
+	// Robust, when non-nil, makes the DTR search failure-aware: candidates
+	// are scored on the nominal objective plus mean and worst-case ΦL over
+	// the model's (sampled, seeded) failure set.
+	Robust *resilience.Model
 }
 
 // Instance is a fully built problem: topology, matrices, evaluator options.

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"dualtopo/internal/eval"
+	"dualtopo/internal/resilience"
 )
 
 // Spec is a declarative what-if campaign: one topology/traffic/objective
@@ -87,14 +88,87 @@ type BudgetSpec struct {
 	SearchWorkers int `json:"search_workers,omitempty"`
 }
 
-// FailureSpec enables post-optimization robustness evaluation: every single
-// bidirectional link failure is applied to the final weight settings (OSPF
-// reconverges on surviving links, weights unchanged) and the low-priority
-// cost degradation of both schemes is recorded.
+// FailureSpec enables post-optimization robustness evaluation: each trial's
+// final weight settings are swept over a failure-state family (weights
+// unchanged — OSPF reconverges on the surviving arcs) and the low-priority
+// cost degradation of both schemes is recorded. It can additionally make
+// the DTR search itself failure-aware.
 type FailureSpec struct {
+	// Kind selects the failure model: "link" (Count simultaneous link
+	// failures), "node", or "srlg". Empty (with SingleLink false) disables
+	// failure evaluation.
+	Kind string `json:"kind,omitempty"`
+	// SingleLink is the legacy toggle, equivalent to {Kind: "link", Count: 1}.
 	SingleLink bool `json:"single_link,omitempty"`
-	// MaxLinks caps evaluated failures per trial; 0 means every link.
+	// Count is the number of simultaneously failed links for the "link"
+	// kind: 1 or 2. 0 means 1.
+	Count int `json:"count,omitempty"`
+	// SRLGs lists shared-risk groups for the "srlg" kind, as indexes into
+	// the topology's canonical link order.
+	SRLGs [][]int `json:"srlgs,omitempty"`
+	// Sample, when positive, evaluates a seeded uniform sample of that many
+	// states per trial instead of the full family. 0 means every state.
+	Sample int `json:"sample,omitempty"`
+	// Seed pins the sampling seed; 0 derives a per-trial seed, so different
+	// trials sample independently while re-runs stay deterministic.
+	Seed uint64 `json:"seed,omitempty"`
+	// Robust makes the DTR search failure-aware: candidates are scored on
+	// nominal ΦL plus mean and worst-case ΦL over the trial's failure set
+	// (capped at RobustDefaultSample states when Sample is 0).
+	Robust bool `json:"robust,omitempty"`
+	// MaxLinks is a deprecated alias for Sample; unlike the old prefix
+	// truncation it now selects a seeded uniform sample.
 	MaxLinks int `json:"max_links,omitempty"`
+}
+
+// RobustDefaultSample bounds the per-candidate sweep cost of robust
+// searches when the spec does not choose a sample size itself. One-off
+// tools (cmd/dtrfail) reuse it so ad-hoc robust runs match campaign
+// behavior.
+const RobustDefaultSample = 8
+
+// Robust-search composite weights: candidate score = ΦL + α·mean + β·worst
+// over the failure set.
+const (
+	robustAlpha = 0.5
+	robustBeta  = 0.5
+)
+
+// Enabled reports whether any failure evaluation is configured.
+func (f FailureSpec) Enabled() bool { return f.Kind != "" || f.SingleLink }
+
+// Model derives the trial-level resilience model, resolving the legacy
+// aliases and deriving a per-trial sampling seed when none is pinned.
+func (f FailureSpec) Model(trialSeed uint64) resilience.Model {
+	kind := f.Kind
+	if kind == "" {
+		kind = resilience.KindLink
+	}
+	sample := f.Sample
+	if sample == 0 {
+		sample = f.MaxLinks
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = splitmix64(trialSeed ^ 0x6661696c75726573) // "failures"
+	}
+	return resilience.Model{
+		Kind:   kind,
+		Count:  f.Count,
+		SRLGs:  f.SRLGs,
+		Sample: sample,
+		Seed:   seed,
+	}.Normalize()
+}
+
+// robustModel is the failure set the DTR search scores candidates on: the
+// trial model, sample-capped so sweep cost per candidate stays bounded.
+func (f FailureSpec) robustModel(trialSeed uint64) resilience.Model {
+	m := f.Model(trialSeed)
+	if m.Sample == 0 {
+		m.Sample = RobustDefaultSample
+	}
+	return m
 }
 
 // objectiveKinds maps the JSON kind names onto eval.Kind (matching
@@ -177,8 +251,15 @@ func (s Spec) Validate() error {
 	if s.Budget.DTRIters < 0 || s.Budget.DTRRefine < 0 || s.Budget.STRIters < 0 || s.Budget.SearchWorkers < 0 {
 		return fmt.Errorf("scenario: negative budget override")
 	}
-	if s.Failures.MaxLinks < 0 {
-		return fmt.Errorf("scenario: negative failure cap %d", s.Failures.MaxLinks)
+	if s.Failures.MaxLinks < 0 || s.Failures.Sample < 0 {
+		return fmt.Errorf("scenario: negative failure sample cap")
+	}
+	if s.Failures.Enabled() {
+		if err := s.Failures.Model(0).Validate(); err != nil {
+			return err
+		}
+	} else if s.Failures.Robust {
+		return fmt.Errorf("scenario: robust search requires a failure model (set kind or single_link)")
 	}
 	return nil
 }
@@ -225,24 +306,30 @@ func (s Spec) WorkList() []WorkItem {
 	items := make([]WorkItem, 0, len(s.Loads)*s.Trials)
 	for p, load := range s.Loads {
 		for t := 0; t < s.Trials; t++ {
+			seed := SubSeed(s.Seed, p, t)
+			is := InstanceSpec{
+				Topology:   s.Topology.Family,
+				Nodes:      s.Topology.Nodes,
+				Links:      s.Topology.Links,
+				Capacity:   s.Topology.CapacityMbps,
+				Kind:       kind,
+				ThetaMs:    s.Objective.ThetaMs,
+				F:          s.Traffic.F,
+				K:          s.Traffic.K,
+				HPModel:    s.Traffic.HighModel,
+				Sinks:      s.Traffic.Sinks,
+				TargetUtil: load,
+				Seed:       seed,
+			}
+			if s.Failures.Enabled() && s.Failures.Robust {
+				m := s.Failures.robustModel(seed)
+				is.Robust = &m
+			}
 			items = append(items, WorkItem{
 				Index: len(items),
 				Point: p,
 				Trial: t,
-				Spec: InstanceSpec{
-					Topology:   s.Topology.Family,
-					Nodes:      s.Topology.Nodes,
-					Links:      s.Topology.Links,
-					Capacity:   s.Topology.CapacityMbps,
-					Kind:       kind,
-					ThetaMs:    s.Objective.ThetaMs,
-					F:          s.Traffic.F,
-					K:          s.Traffic.K,
-					HPModel:    s.Traffic.HighModel,
-					Sinks:      s.Traffic.Sinks,
-					TargetUtil: load,
-					Seed:       SubSeed(s.Seed, p, t),
-				},
+				Spec:  is,
 			})
 		}
 	}

@@ -24,7 +24,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	s.Description = "round trip"
 	s.Objective = ObjectiveSpec{Kind: "sla", ThetaMs: 30}
 	s.Budget = BudgetSpec{Tier: "small", STRIters: 100}
-	s.Failures = FailureSpec{SingleLink: true, MaxLinks: 5}
+	s.Failures = FailureSpec{Kind: "srlg", SRLGs: [][]int{{0, 1}, {2}}, Sample: 5, Seed: 3, Robust: true}
 	data, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
@@ -79,6 +79,11 @@ func TestSpecValidate(t *testing.T) {
 		{"negative theta", func(s *Spec) { s.Objective.ThetaMs = -1 }},
 		{"negative override", func(s *Spec) { s.Budget.STRIters = -5 }},
 		{"negative failure cap", func(s *Spec) { s.Failures.MaxLinks = -1 }},
+		{"negative failure sample", func(s *Spec) { s.Failures.Sample = -1 }},
+		{"bad failure kind", func(s *Spec) { s.Failures.Kind = "meteor" }},
+		{"bad link count", func(s *Spec) { s.Failures = FailureSpec{Kind: "link", Count: 3} }},
+		{"srlg without groups", func(s *Spec) { s.Failures = FailureSpec{Kind: "srlg"} }},
+		{"robust without model", func(s *Spec) { s.Failures = FailureSpec{Robust: true} }},
 	}
 	for _, c := range cases {
 		s := validSpec()
@@ -178,7 +183,7 @@ func TestPresetsLibrary(t *testing.T) {
 		families[n.Topology.Family] = true
 		models[n.Traffic.HighModel] = true
 		kinds[n.Objective.Kind] = true
-		if n.Failures.SingleLink {
+		if n.Failures.Enabled() {
 			withFailures = true
 		} else {
 			withoutFailures = true
@@ -224,5 +229,56 @@ func TestPresetsAreDeepCopies(t *testing.T) {
 	c, _ := PresetByName(ps[0].Name)
 	if c.Loads[0] == 0.98 {
 		t.Fatal("mutating Presets() result corrupted the library")
+	}
+}
+
+func TestFailureSpecModelDerivation(t *testing.T) {
+	// Legacy aliases: SingleLink → link kind, MaxLinks → sample.
+	legacy := FailureSpec{SingleLink: true, MaxLinks: 5}
+	m := legacy.Model(7)
+	if m.Kind != "link" || m.Count != 1 || m.Sample != 5 {
+		t.Fatalf("legacy model = %+v", m)
+	}
+	// A derived seed is per-trial but reproducible; a pinned seed wins.
+	if legacy.Model(7).Seed != m.Seed {
+		t.Fatal("derived sampling seed not reproducible")
+	}
+	if legacy.Model(8).Seed == m.Seed {
+		t.Fatal("derived sampling seed ignores the trial seed")
+	}
+	pinned := FailureSpec{Kind: "node", Seed: 42}
+	if got := pinned.Model(7).Seed; got != 42 {
+		t.Fatalf("pinned seed = %d, want 42", got)
+	}
+	// Robust model caps an unbounded sweep at the default sample.
+	if got := legacy.robustModel(7).Sample; got != 5 {
+		t.Fatalf("robust sample = %d, want the spec's 5", got)
+	}
+	unbounded := FailureSpec{SingleLink: true}
+	if got := unbounded.robustModel(7).Sample; got != RobustDefaultSample {
+		t.Fatalf("robust sample = %d, want default %d", got, RobustDefaultSample)
+	}
+}
+
+func TestWorkListCarriesRobustModel(t *testing.T) {
+	s := validSpec()
+	s.Failures = FailureSpec{SingleLink: true, Robust: true}
+	items := s.WorkList()
+	for i, it := range items {
+		if it.Spec.Robust == nil {
+			t.Fatalf("item %d has no robust model", i)
+		}
+		if it.Spec.Robust.Sample != RobustDefaultSample {
+			t.Fatalf("item %d robust sample = %d", i, it.Spec.Robust.Sample)
+		}
+	}
+	if items[0].Spec.Robust.Seed == items[1].Spec.Robust.Seed {
+		t.Fatal("trials share a robust sampling seed")
+	}
+	s.Failures.Robust = false
+	for i, it := range s.WorkList() {
+		if it.Spec.Robust != nil {
+			t.Fatalf("item %d of non-robust campaign has a robust model", i)
+		}
 	}
 }

@@ -113,3 +113,38 @@ func TestDTRDeltaParallelWorkersDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSearchesReproducibleOnReusedEvaluator pins the ResetDelta contract:
+// running the same seeded search twice on one Evaluator must reproduce the
+// first run exactly. Without the reset, the second run's delta routers
+// start at the first run's final position while the pending sets assume the
+// incumbent — silently desynchronizing delta from full evaluation.
+func TestSearchesReproducibleOnReusedEvaluator(t *testing.T) {
+	e := randomEvaluator(t, eval.LoadBased, 11)
+	p := tinyParams()
+	p.VerifyDelta = true
+	var prevDTR *DTRResult
+	var prevSTR *STRResult
+	for run := 0; run < 3; run++ {
+		dr, err := DTR(e, p)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		sr, err := STR(e, tinySTRParams())
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if prevDTR != nil {
+			if dr.Best != prevDTR.Best || sr.Best != prevSTR.Best {
+				t.Fatalf("run %d: objective changed on reuse (DTR %+v vs %+v, STR %+v vs %+v)",
+					run, dr.Best, prevDTR.Best, sr.Best, prevSTR.Best)
+			}
+			for i := range dr.WH {
+				if dr.WH[i] != prevDTR.WH[i] || dr.WL[i] != prevDTR.WL[i] || sr.W[i] != prevSTR.W[i] {
+					t.Fatalf("run %d: weights changed on reuse at arc %d", run, i)
+				}
+			}
+		}
+		prevDTR, prevSTR = dr, sr
+	}
+}

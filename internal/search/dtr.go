@@ -8,6 +8,7 @@ import (
 	"dualtopo/internal/cost"
 	"dualtopo/internal/eval"
 	"dualtopo/internal/graph"
+	"dualtopo/internal/resilience"
 	"dualtopo/internal/spf"
 )
 
@@ -21,6 +22,9 @@ type DTRResult struct {
 	Best cost.Lex
 	// Evaluations counts objective evaluations performed.
 	Evaluations int64
+	// Robust carries the failure-aware score of (WH, WL) when the search ran
+	// with Params.Robust configured; nil otherwise.
+	Robust *RobustScore
 }
 
 // DTR runs Algorithm 1 from unit initial weights.
@@ -75,13 +79,19 @@ func DTRFrom(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*DTRResult, err
 	if err != nil {
 		return nil, err
 	}
-	return &DTRResult{
+	res := &DTRResult{
 		WH:          s.bestWH,
 		WL:          s.bestWL,
 		Result:      best,
 		Best:        best.Objective(),
 		Evaluations: s.evals,
-	}, nil
+	}
+	if s.robust() {
+		if res.Robust, err = s.finalRobust(best.PhiL); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // dtrSearch carries the mutable state of one Algorithm 1 run.
@@ -119,6 +129,14 @@ type dtrSearch struct {
 	pool  []*eval.Evaluator // per-worker evaluators; pool[0] == e
 	evals int64
 	err   error
+
+	// Failure-aware scoring state (see robust.go): per-worker sweep engines,
+	// the filtered failure set, per-candidate penalties, and the additive
+	// penalties of the incumbent and best solutions.
+	sweep           []*resilience.Sweeper
+	rStates         []resilience.State
+	robustAdd       []float64
+	curRob, bestRob float64
 }
 
 func newDTRSearch(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*dtrSearch, error) {
@@ -140,6 +158,7 @@ func newDTRSearch(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*dtrSearch
 	if workers > p.Neighbors {
 		workers = p.Neighbors
 	}
+	e.ResetDelta() // a reused evaluator must not leak a prior run's router position
 	s.pool = make([]*eval.Evaluator, workers)
 	s.pool[0] = e
 	for i := 1; i < workers; i++ {
@@ -148,16 +167,23 @@ func newDTRSearch(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*dtrSearch
 	s.hPending = make([][]graph.EdgeID, workers)
 	s.lPending = make([][]graph.EdgeID, workers)
 	s.mergeBuf = make([][]graph.EdgeID, workers)
+	if p.Robust.enabled() {
+		if err := s.initRobust(wH0, wL0); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.refreshFull(); err != nil {
 		return nil, err
 	}
 	s.bestWH = s.wH.Clone()
 	s.bestWL = s.wL.Clone()
 	s.bestLex = s.curLex
+	s.bestRob = s.curRob
 	return s, nil
 }
 
-// refreshFull re-evaluates the current solution from scratch.
+// refreshFull re-evaluates the current solution from scratch, including its
+// robust penalty when failure-aware scoring is on.
 func (s *dtrSearch) refreshFull() error {
 	r, err := s.e.EvaluateDTR(s.wH, s.wL)
 	if err != nil {
@@ -166,6 +192,11 @@ func (s *dtrSearch) refreshFull() error {
 	s.evals++
 	s.cur = r
 	s.curLex = r.Objective()
+	if s.robust() {
+		if s.curRob, err = s.robustTerm(0, s.wH, s.wL); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -198,10 +229,16 @@ func (s *dtrSearch) runRoutine(iterations int, step func() bool, diversify func(
 	}
 }
 
+// betterThanBest compares the incumbent against the best-known solution
+// under the active objective (composite when robust scoring is on).
+func (s *dtrSearch) betterThanBest() bool {
+	return s.composite(s.curLex, s.curRob).Less(s.composite(s.bestLex, s.bestRob))
+}
+
 // stepFindH performs one FindH move; reports whether the incumbent improved.
 func (s *dtrSearch) stepFindH() bool {
 	if s.findH() {
-		if s.curLex.Less(s.bestLex) {
+		if s.betterThanBest() {
 			s.recordBest()
 			return true
 		}
@@ -214,7 +251,7 @@ func (s *dtrSearch) stepFindH() bool {
 // while WH is fixed).
 func (s *dtrSearch) stepFindL() bool {
 	if s.findL() {
-		if s.curLex.Less(s.bestLex) {
+		if s.betterThanBest() {
 			s.recordBest()
 			return true
 		}
@@ -232,7 +269,7 @@ func (s *dtrSearch) stepRefine() bool {
 	if s.err != nil {
 		return false
 	}
-	if s.curLex.Less(s.bestLex) {
+	if s.betterThanBest() {
 		s.recordBest()
 		return true
 	}
@@ -243,6 +280,7 @@ func (s *dtrSearch) recordBest() {
 	copy(s.bestWH, s.wH)
 	copy(s.bestWL, s.wL)
 	s.bestLex = s.curLex
+	s.bestRob = s.curRob
 }
 
 // adoptBest moves the incumbent weights to the best-known setting, recording
@@ -281,20 +319,35 @@ func (s *dtrSearch) findH() bool {
 	if len(cands) == 0 {
 		return false
 	}
+	s.prepRobustAdd(len(cands))
 	lexes := s.evalCandidates(cands, func(worker, idx int, w spf.Weights) (cost.Lex, error) {
+		var lx cost.Lex
+		var err error
 		if s.p.FullEval {
-			return s.pool[worker].ObjectiveH(w, s.cur.LLoads)
+			lx, err = s.pool[worker].ObjectiveH(w, s.cur.LLoads)
+		} else {
+			lx, err = s.pool[worker].ObjectiveHDelta(w, takePending(s.hPending, s.mergeBuf, worker, s.candArcs[idx][:]), s.cur.LLoads)
 		}
-		return s.pool[worker].ObjectiveHDelta(w, takePending(s.hPending, s.mergeBuf, worker, s.candArcs[idx][:]), s.cur.LLoads)
+		if err == nil && s.robust() {
+			// A candidate whose primary objective is already worse than the
+			// incumbent's can never be selected (the composite only touches
+			// the secondary), so its failure sweep would be pure waste.
+			if lx.Primary > s.curLex.Primary {
+				s.robustAdd[idx] = 0
+			} else {
+				s.robustAdd[idx], err = s.robustTerm(worker, w, s.wL)
+			}
+		}
+		return lx, err
 	})
 	if s.err != nil {
 		return false
 	}
 	bestIdx := -1
-	bestLex := s.curLex
+	bestComp := s.composite(s.curLex, s.curRob)
 	for i, lx := range lexes {
-		if lx.Less(bestLex) {
-			bestLex = lx
+		if c := s.composite(lx, s.robAdd(i)); c.Less(bestComp) {
+			bestComp = c
 			bestIdx = i
 		}
 	}
@@ -302,6 +355,9 @@ func (s *dtrSearch) findH() bool {
 		return false
 	}
 	copy(s.wH, cands[bestIdx])
+	if s.robust() {
+		s.curRob = s.robustAdd[bestIdx]
+	}
 	s.noteHChange(s.candArcs[bestIdx][:])
 	r, err := s.e.EvaluateHWithLLoads(s.wH, s.cur.LLoads)
 	if err != nil {
@@ -329,6 +385,7 @@ func (s *dtrSearch) findL() bool {
 	if len(cands) == 0 {
 		return false
 	}
+	s.prepRobustAdd(len(cands))
 	phiLs := make([]float64, len(cands))
 	lexes := s.evalCandidates(cands, func(worker, idx int, w spf.Weights) (cost.Lex, error) {
 		var phiL float64
@@ -337,6 +394,9 @@ func (s *dtrSearch) findL() bool {
 			phiL, err = s.pool[worker].ObjectiveL(w, s.cur.Residual)
 		} else {
 			phiL, err = s.pool[worker].ObjectiveLDelta(w, takePending(s.lPending, s.mergeBuf, worker, s.candArcs[idx][:]), s.cur.Residual)
+		}
+		if err == nil && s.robust() {
+			s.robustAdd[idx], err = s.robustTerm(worker, s.wH, w)
 		}
 		return cost.Lex{Primary: s.curLex.Primary, Secondary: phiL}, err
 	})
@@ -347,10 +407,10 @@ func (s *dtrSearch) findL() bool {
 		phiLs[i] = lx.Secondary
 	}
 	bestIdx := -1
-	bestPhiL := s.cur.PhiL
+	bestPhiL := s.cur.PhiL + s.curRobIfOn()
 	for i, phiL := range phiLs {
-		if phiL < bestPhiL {
-			bestPhiL = phiL
+		if scored := phiL + s.robAdd(i); scored < bestPhiL {
+			bestPhiL = scored
 			bestIdx = i
 		}
 	}
@@ -358,6 +418,9 @@ func (s *dtrSearch) findL() bool {
 		return false
 	}
 	copy(s.wL, cands[bestIdx])
+	if s.robust() {
+		s.curRob = s.robustAdd[bestIdx]
+	}
 	s.noteLChange(s.candArcs[bestIdx][:])
 	r, err := s.e.EvaluateLWithBase(s.wL, s.cur)
 	if err != nil {
@@ -374,7 +437,6 @@ func (s *dtrSearch) findL() bool {
 	s.curLex = r.Objective()
 	return true
 }
-
 
 // sortLinks fills s.order with all arcs in decreasing cost order.
 func (s *dtrSearch) sortLinks(linkCost func(graph.EdgeID) cost.Lex) {

@@ -7,7 +7,41 @@ package search
 import (
 	"fmt"
 	"runtime"
+
+	"dualtopo/internal/resilience"
 )
+
+// RobustParams makes the DTR search failure-aware: every candidate is scored
+// on a composite of its nominal objective and its low-priority cost across a
+// fixed failure-state set, so the search trades a little intact-network ΦL
+// for settings that degrade gracefully when links go down. The failure set
+// is evaluated through the incremental sweep engine (disable → delta
+// objective → repair), never by full re-evaluation.
+type RobustParams struct {
+	// States is the failure set every candidate is scored against; empty
+	// disables robust scoring. Callers enumerate (and sample) it once via
+	// resilience.Enumerate, so the set is seeded and fixed for the run.
+	// States that disconnect the network are filtered out at search start —
+	// reachability under a failure does not depend on the weights.
+	States []resilience.State
+	// Alpha and Beta weight the mean and worst-case failure ΦL added to a
+	// candidate's nominal ΦL: score = ΦL + Alpha·mean + Beta·worst.
+	Alpha, Beta float64
+}
+
+// enabled reports whether robust scoring is configured.
+func (rp RobustParams) enabled() bool { return len(rp.States) > 0 }
+
+// validate reports the first invalid robust field.
+func (rp RobustParams) validate() error {
+	if rp.Alpha < 0 || rp.Beta < 0 {
+		return fmt.Errorf("search: negative robust weights (alpha=%g, beta=%g)", rp.Alpha, rp.Beta)
+	}
+	if rp.enabled() && rp.Alpha == 0 && rp.Beta == 0 {
+		return fmt.Errorf("search: robust failure set given but alpha and beta are both 0")
+	}
+	return nil
+}
 
 // Params configures the DTR search (Algorithm 1). Zero values are invalid;
 // start from Defaults and override.
@@ -45,6 +79,9 @@ type Params struct {
 	// objective of the winning candidate equals the full re-evaluation
 	// bitwise, failing the search on mismatch. Debug mode.
 	VerifyDelta bool
+	// Robust configures failure-aware candidate scoring; the zero value
+	// keeps the search purely nominal.
+	Robust RobustParams
 }
 
 // Defaults returns the paper's parameter settings (§5.1.3).
@@ -85,7 +122,7 @@ func (p Params) Validate() error {
 	case p.Workers < 0:
 		return fmt.Errorf("search: workers=%d < 0", p.Workers)
 	}
-	return nil
+	return p.Robust.validate()
 }
 
 func (p Params) workers() int {

@@ -62,6 +62,7 @@ func STRFrom(e *eval.Evaluator, w0 spf.Weights, p STRParams) (*STRResult, error)
 	if workers > p.Candidates {
 		workers = p.Candidates
 	}
+	e.ResetDelta() // a reused evaluator must not leak a prior run's router position
 	s.pool = make([]*eval.Evaluator, workers)
 	s.pool[0] = e
 	for i := 1; i < workers; i++ {

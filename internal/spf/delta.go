@@ -2,7 +2,6 @@ package spf
 
 import (
 	"fmt"
-	"slices"
 
 	"dualtopo/internal/graph"
 	"dualtopo/internal/traffic"
@@ -20,6 +19,11 @@ type DeltaStats struct {
 	// across incremental Applies.
 	TreesRecomputed int64
 	TreesReused     int64
+	// TreesPartial counts recomputed trees served by the pure-increase
+	// partial path (TreeIncrease) instead of a full Dijkstra.
+	TreesPartial int64
+	// Reverts counts Checkpoint rollbacks.
+	Reverts int64
 }
 
 // DeltaRouter incrementally maintains per-destination shortest-path trees
@@ -82,7 +86,30 @@ type DeltaRouter struct {
 	allArcs    []graph.EdgeID
 	xiBuf      []float64
 
+	// Checkpoint state (see Checkpoint/Revert): pre-images of everything an
+	// Apply mutates, captured lazily per dirtied destination.
+	cpActive    bool
+	cpW         Weights
+	cpLoads     [][]float64
+	cpSaved     []bool
+	cpSavedList []int
+	cpDest      []destSave
+
 	stats DeltaStats
+}
+
+// destSave is one destination's checkpointed routing state: a deep tree
+// copy (Next flattened into one arc run plus per-node lengths, avoiding a
+// slice copy per node) plus, per matrix, the support list and its load
+// values.
+type destSave struct {
+	dest     graph.NodeID
+	dist     []int64
+	order    []graph.NodeID
+	nextFlat []graph.EdgeID
+	nextLen  []int32
+	sup      [][]graph.EdgeID
+	vals     [][]float64
 }
 
 // NewDeltaRouter prepares incremental routing state for the union of
@@ -218,6 +245,7 @@ func (r *DeltaRouter) Route(w Weights) error {
 	}
 	copy(r.w, w)
 	r.valid = false
+	r.cpActive = false // wholesale rewrite: any checkpoint is stale
 	r.stats.FullRoutes++
 	for mi := range r.Loads {
 		loads := r.Loads[mi]
@@ -309,11 +337,17 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 		}
 		return r.allArcs, nil
 	}
-	// Keep only arcs that actually changed.
+	// Keep only arcs that actually changed, noting whether every change is
+	// an increase (Disabled counts as +inf) — the precondition for the
+	// partial-recompute path.
 	actual := r.changedBuf[:0]
+	pureInc := true
 	for _, id := range changed {
 		if w[id] != r.w[id] {
 			actual = append(actual, id)
+			if w[id] < r.w[id] {
+				pureInc = false
+			}
 		}
 	}
 	r.changedBuf = actual
@@ -367,6 +401,7 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 		}
 	}
 	for _, di := range r.dirtyList {
+		r.saveDest(di)
 		for mi := range r.tms {
 			pd := r.perDest[di][mi]
 			if pd == nil {
@@ -378,7 +413,12 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 			}
 		}
 		t := &r.trees[di]
-		r.comp.Tree(r.dests[di], r.w, t)
+		if pureInc {
+			r.comp.TreeIncrease(r.w, t, actual)
+			r.stats.TreesPartial++
+		} else {
+			r.comp.Tree(r.dests[di], r.w, t)
+		}
 		for mi := range r.tms {
 			dem := r.demands[di][mi]
 			if dem == nil {
@@ -401,10 +441,12 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 
 	// Re-aggregate touched arcs in full-Route order: per arc, sum every
 	// destination's contribution in ascending destination order, skipping
-	// zeros — the exact floating-point sequence MultiPlan.Route performs.
-	// The loop runs destination-outer over each destination's support list,
-	// so work scales with the loaded arcs, not the graph.
-	slices.Sort(r.touchList)
+	// zeros — the exact floating-point sequence MultiPlan.Route performs
+	// (the destination-outer loop fixes it; the iteration order of touched
+	// arcs is irrelevant to the per-arc sums, so touchList stays unsorted
+	// and the moved list is deterministic but unordered). The loop runs
+	// destination-outer over each destination's support list, so work
+	// scales with the loaded arcs, not the graph.
 	r.moved = r.moved[:0]
 	for mi := range r.tms {
 		sums := r.sumBuf
@@ -440,6 +482,124 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 		r.movedMark[a] = false
 	}
 	return r.moved, nil
+}
+
+// Checkpoint captures the router's current routed state so a later Revert
+// can restore it bitwise without recomputation. The capture is lazy: only
+// the weight and aggregate-load vectors are copied now (O(arcs)); each
+// destination's tree and per-destination loads are saved the first time an
+// Apply dirties it. This turns the failure-sweep repair step — and recovery
+// from a disconnecting failure — into a support-sized memcpy instead of a
+// Dijkstra-and-reaggregate pass (or a full fallback route).
+//
+// A checkpoint stays armed until Revert, a new Checkpoint (which re-bases
+// it), or a full Route (which makes it stale and disarms it).
+func (r *DeltaRouter) Checkpoint() error {
+	if !r.valid {
+		return fmt.Errorf("spf: checkpoint on an invalid router")
+	}
+	if r.cpW == nil {
+		r.cpW = make(Weights, len(r.w))
+		r.cpLoads = make([][]float64, len(r.tms))
+		for mi := range r.cpLoads {
+			r.cpLoads[mi] = make([]float64, len(r.w))
+		}
+		r.cpSaved = make([]bool, len(r.dests))
+		r.cpDest = make([]destSave, len(r.dests))
+	}
+	copy(r.cpW, r.w)
+	for mi := range r.Loads {
+		copy(r.cpLoads[mi], r.Loads[mi])
+	}
+	for _, di := range r.cpSavedList {
+		r.cpSaved[di] = false
+	}
+	r.cpSavedList = r.cpSavedList[:0]
+	r.cpActive = true
+	return nil
+}
+
+// saveDest records destination di's pre-image on first dirtying after a
+// Checkpoint.
+func (r *DeltaRouter) saveDest(di int) {
+	if !r.cpActive || r.cpSaved[di] {
+		return
+	}
+	r.cpSaved[di] = true
+	r.cpSavedList = append(r.cpSavedList, di)
+	ds := &r.cpDest[di]
+	t := &r.trees[di]
+	ds.dest = t.Dest
+	ds.dist = append(ds.dist[:0], t.Dist...)
+	ds.order = append(ds.order[:0], t.Order...)
+	ds.nextFlat = ds.nextFlat[:0]
+	ds.nextLen = ds.nextLen[:0]
+	for u := range t.Next {
+		ds.nextFlat = append(ds.nextFlat, t.Next[u]...)
+		ds.nextLen = append(ds.nextLen, int32(len(t.Next[u])))
+	}
+	if ds.sup == nil {
+		ds.sup = make([][]graph.EdgeID, len(r.tms))
+		ds.vals = make([][]float64, len(r.tms))
+	}
+	for mi := range r.tms {
+		sup := r.supports[di][mi]
+		ds.sup[mi] = append(ds.sup[mi][:0], sup...)
+		vals := ds.vals[mi][:0]
+		pd := r.perDest[di][mi]
+		for _, a := range sup {
+			vals = append(vals, pd[a])
+		}
+		ds.vals[mi] = vals
+	}
+}
+
+// Revert restores the routed state captured by the armed checkpoint —
+// trees, per-destination loads, supports, aggregate loads, and weights —
+// and revalidates the router (recovering even from an error that
+// invalidated it, since every mutation since the checkpoint was saved
+// first). It is a no-op without an armed checkpoint, and disarms it.
+func (r *DeltaRouter) Revert() {
+	if !r.cpActive {
+		return
+	}
+	r.stats.Reverts++
+	for _, di := range r.cpSavedList {
+		ds := &r.cpDest[di]
+		t := &r.trees[di]
+		t.Dest = ds.dest
+		t.Dist = append(t.Dist[:0], ds.dist...)
+		pos := 0
+		for u, ln := range ds.nextLen {
+			t.Next[u] = append(t.Next[u][:0], ds.nextFlat[pos:pos+int(ln)]...)
+			pos += int(ln)
+		}
+		t.Order = append(t.Order[:0], ds.order...)
+		for mi := range r.tms {
+			pd := r.perDest[di][mi]
+			if pd == nil {
+				continue
+			}
+			for _, a := range r.supports[di][mi] {
+				pd[a] = 0
+			}
+			for k, a := range ds.sup[mi] {
+				pd[a] = ds.vals[mi][k]
+			}
+			r.supports[di][mi] = append(r.supports[di][mi][:0], ds.sup[mi]...)
+		}
+		r.cpSaved[di] = false
+	}
+	r.cpSavedList = r.cpSavedList[:0]
+	copy(r.w, r.cpW)
+	for mi := range r.Loads {
+		copy(r.Loads[mi], r.cpLoads[mi])
+	}
+	for di := range r.dirty {
+		r.dirty[di] = false
+	}
+	r.valid = true
+	r.cpActive = false
 }
 
 // DiffArcs appends to buf the arcs on which a and b differ, returning the

@@ -155,10 +155,21 @@ func TestDeltaRouterMatchesFullRoute(t *testing.T) {
 					if err == nil {
 						t.Fatalf("step %d: full route failed (%v) but delta succeeded", step, refErr)
 					}
-					copy(w, prev)
+					// Undo this step's mutations before restoring w. An arc
+					// repaired this step goes back to Disabled, so its
+					// pre-failure weight (the current w value) must be
+					// re-recorded — otherwise a later repair would read the
+					// map's zero value and install an illegal weight-0 arc.
+					// An arc disabled this step returns to a normal weight,
+					// so its record is dropped.
 					for _, id := range changed {
-						delete(disabled, id)
+						if prev[id] == Disabled && w[id] != Disabled {
+							disabled[id] = w[id]
+						} else if prev[id] != Disabled {
+							delete(disabled, id)
+						}
 					}
+					copy(w, prev)
 					if err := ref.Route(w, tms...); err != nil {
 						t.Fatalf("step %d: restore failed: %v", step, err)
 					}
@@ -254,5 +265,99 @@ func TestDiffArcs(t *testing.T) {
 	diff := DiffArcs(a, b, nil)
 	if len(diff) != 2 || diff[0] != 1 || diff[1] != 3 {
 		t.Fatalf("DiffArcs = %v, want [1 3]", diff)
+	}
+}
+
+// TestCheckpointRevert pins the rollback contract: after Checkpoint, any
+// sequence of Applies — including ones that error on disconnection and
+// invalidate the router — is undone bitwise by Revert, without any
+// recomputation (FullRoutes must not move).
+func TestCheckpointRevert(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 77))
+	g, tms := randomInstance(rng, 12, 10, 2)
+	m := g.NumEdges()
+	dr := NewDeltaRouter(g, tms...)
+	ref := NewMultiPlan(g, tms...)
+	w := make(Weights, m)
+	for i := range w {
+		w[i] = 1 + rng.IntN(30)
+	}
+	if err := dr.Route(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Route(w, tms...); err != nil {
+		t.Fatal(err)
+	}
+
+	snapLoads := make([][]float64, len(dr.Loads))
+	for mi := range dr.Loads {
+		snapLoads[mi] = append([]float64(nil), dr.Loads[mi]...)
+	}
+
+	for round := 0; round < 60; round++ {
+		if err := dr.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		fullBefore := dr.Stats().FullRoutes
+		// Mutate: disable a few random arcs (sometimes disconnecting), and
+		// sometimes follow with a second Apply stacking more changes.
+		wf := w.Clone()
+		var changed []graph.EdgeID
+		for k := 0; k < 1+rng.IntN(4); k++ {
+			id := graph.EdgeID(rng.IntN(m))
+			wf[id] = Disabled
+			changed = append(changed, id)
+		}
+		_, err := dr.Apply(wf, changed)
+		if err == nil && rng.IntN(2) == 0 {
+			id := graph.EdgeID(rng.IntN(m))
+			if wf[id] != Disabled {
+				wf2 := wf.Clone()
+				wf2[id] = 1 + rng.IntN(30)
+				_, _ = dr.Apply(wf2, []graph.EdgeID{id})
+			}
+		}
+		dr.Revert()
+		if dr.Stats().FullRoutes != fullBefore {
+			t.Fatalf("round %d: revert path performed a full route", round)
+		}
+		if !dr.Valid() {
+			t.Fatalf("round %d: router invalid after revert", round)
+		}
+		assertTreesEqual(t, round, dr, ref)
+		for mi := range dr.Loads {
+			for a := range dr.Loads[mi] {
+				if dr.Loads[mi][a] != snapLoads[mi][a] {
+					t.Fatalf("round %d: load[%d][%d] not restored: %v != %v",
+						round, mi, a, dr.Loads[mi][a], snapLoads[mi][a])
+				}
+			}
+		}
+		for i := range w {
+			if dr.Weights()[i] != w[i] {
+				t.Fatalf("round %d: weight %d not restored", round, i)
+			}
+		}
+		// The reverted router must keep serving exact incremental updates.
+		id := graph.EdgeID(rng.IntN(m))
+		w2 := w.Clone()
+		w2[id] = 1 + rng.IntN(30)
+		if w2[id] != w[id] {
+			if _, err := dr.Apply(w2, []graph.EdgeID{id}); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Route(w2, tms...); err != nil {
+				t.Fatal(err)
+			}
+			assertTreesEqual(t, round, dr, ref)
+			assertLoadsEqual(t, round, dr, ref)
+			w = w2
+			for mi := range dr.Loads {
+				copy(snapLoads[mi], dr.Loads[mi])
+			}
+		}
+	}
+	if dr.Stats().Reverts == 0 {
+		t.Fatal("no reverts recorded")
 	}
 }

@@ -1,0 +1,224 @@
+package spf
+
+import "dualtopo/internal/graph"
+
+// Partial SPF for pure weight increases (the failure-sweep hot path: a
+// disabled arc is a weight increase to +inf). When every changed arc's
+// weight went up, distances can only grow, and they grow only for nodes
+// whose every shortest path used a changed arc. TreeIncrease classifies that
+// affected set in one linear pass over the stored tree, re-settles only the
+// affected nodes with a boundary Dijkstra, and rebuilds the ECMP structure
+// only where it can have moved. Because integer shortest distances are
+// unique and Next/Order are pure functions of the distance vector, the
+// updated tree is bitwise-identical to a from-scratch recomputation.
+
+// increaseScratch holds TreeIncrease's reusable buffers.
+type increaseScratch struct {
+	arcChanged []bool // per arc: weight increased this transition
+	affected   []bool // per node: every shortest path destroyed
+	rebuild    []bool // per node: Next list must be rebuilt
+	fList      []graph.NodeID
+	rList      []graph.NodeID
+	newOrder   []graph.NodeID
+	settled    []graph.NodeID
+}
+
+func (s *increaseScratch) ensure(n, m int) {
+	if len(s.arcChanged) < m {
+		s.arcChanged = make([]bool, m)
+	}
+	if len(s.affected) < n {
+		s.affected = make([]bool, n)
+		s.rebuild = make([]bool, n)
+	}
+}
+
+// TreeIncrease updates t — a valid tree for this Computer's graph under some
+// previous weight setting — to the tree under w, where w differs from that
+// setting only on the changed arcs and every change is an increase (Disabled
+// counts as +inf). The result is bitwise-equal to Tree(dest, w, t).
+func (c *Computer) TreeIncrease(w Weights, t *Tree, changed []graph.EdgeID) {
+	csr := c.csr
+	s := &c.inc
+	s.ensure(csr.NumNodes(), csr.NumArcs())
+	for _, a := range changed {
+		s.arcChanged[a] = true
+	}
+
+	// Affected-set classification: a node's distance grows iff every arc of
+	// its shortest-path DAG either increased or leads to an affected node.
+	// Next arcs point strictly downhill (weights are >= 1), so one ascending
+	// pass over the canonical Order classifies successors first. The
+	// destination (empty Next) is never affected.
+	s.fList = s.fList[:0]
+	for _, u := range t.Order {
+		if u == t.Dest {
+			continue
+		}
+		aff := true
+		for _, a := range t.Next[u] {
+			if !s.arcChanged[a] && !s.affected[csr.To[a]] {
+				aff = false
+				break
+			}
+		}
+		if aff {
+			s.affected[u] = true
+			s.fList = append(s.fList, u)
+		}
+	}
+
+	// Rebuild set: affected nodes, their DAG-upstream neighbors (whose Next
+	// may gain or lose arcs as affected distances move), and the tails of
+	// changed arcs (whose Next lose the increased arcs).
+	s.rList = s.rList[:0]
+	mark := func(u graph.NodeID) {
+		if !s.rebuild[u] {
+			s.rebuild[u] = true
+			s.rList = append(s.rList, u)
+		}
+	}
+	for _, f := range s.fList {
+		mark(f)
+		lo, hi := csr.InStart[f], csr.InStart[f+1]
+		for i := lo; i < hi; i++ {
+			mark(csr.InFrom[i])
+		}
+	}
+	for _, a := range changed {
+		mark(csr.From[a])
+	}
+
+	if len(s.fList) > 0 {
+		c.resettleAffected(w, t, s)
+	}
+
+	// Rebuild Next for the rebuild set, scanning each node's out-arcs in
+	// CSR order — ascending arc ID, the same per-node order the full build's
+	// all-arcs scan produces.
+	for _, u := range s.rList {
+		t.Next[u] = t.Next[u][:0]
+		du := t.Dist[u]
+		if du == unreachable {
+			continue
+		}
+		lo, hi := csr.OutStart[u], csr.OutStart[u+1]
+		for i := lo; i < hi; i++ {
+			id := csr.OutArcs[i]
+			if w[id] == Disabled {
+				continue
+			}
+			dv := t.Dist[csr.OutTo[i]]
+			if dv != unreachable && dv+int64(w[id]) == du {
+				t.Next[u] = append(t.Next[u], id)
+			}
+		}
+	}
+
+	for _, a := range changed {
+		s.arcChanged[a] = false
+	}
+	for _, u := range s.rList {
+		s.rebuild[u] = false
+	}
+	for _, u := range s.fList {
+		s.affected[u] = false
+	}
+}
+
+// resettleAffected runs the boundary Dijkstra: affected nodes are seeded
+// from their surviving arcs into unaffected territory, then settle among
+// themselves; everything else keeps its distance. Afterwards the canonical
+// Order is rebuilt by merging the surviving (still sorted) run with the
+// re-settled nodes.
+func (c *Computer) resettleAffected(w Weights, t *Tree, s *increaseScratch) {
+	csr := c.csr
+	h := &c.heap
+	h.reset()
+	for _, f := range s.fList {
+		t.Dist[f] = unreachable
+	}
+	for _, f := range s.fList {
+		best := int64(unreachable)
+		lo, hi := csr.OutStart[f], csr.OutStart[f+1]
+		for i := lo; i < hi; i++ {
+			id := csr.OutArcs[i]
+			if w[id] == Disabled {
+				continue
+			}
+			v := csr.OutTo[i]
+			if s.affected[v] {
+				continue // evolving; reached via relaxation below
+			}
+			if dv := t.Dist[v]; dv != unreachable && dv+int64(w[id]) < best {
+				best = dv + int64(w[id])
+			}
+		}
+		if best != unreachable {
+			t.Dist[f] = best
+			h.push(f, best)
+		}
+	}
+	s.settled = s.settled[:0]
+	for h.len() > 0 {
+		u, du := h.pop()
+		if du > t.Dist[u] {
+			continue // stale entry
+		}
+		s.settled = append(s.settled, u)
+		lo, hi := csr.InStart[u], csr.InStart[u+1]
+		for i := lo; i < hi; i++ {
+			id := csr.InArcs[i]
+			if w[id] == Disabled {
+				continue
+			}
+			v := csr.InFrom[i]
+			if !s.affected[v] {
+				continue // unaffected distances are already optimal
+			}
+			if alt := du + int64(w[id]); alt < t.Dist[v] {
+				t.Dist[v] = alt
+				h.push(v, alt)
+			}
+		}
+	}
+
+	// Canonicalize the settled run by (Dist, ID); Dijkstra pop order already
+	// ascends in distance, so insertion sort only reorders within ties.
+	for i := 1; i < len(s.settled); i++ {
+		u := s.settled[i]
+		du := t.Dist[u]
+		j := i
+		for j > 0 && (t.Dist[s.settled[j-1]] > du ||
+			(t.Dist[s.settled[j-1]] == du && s.settled[j-1] > u)) {
+			s.settled[j] = s.settled[j-1]
+			j--
+		}
+		s.settled[j] = u
+	}
+
+	// Merge: the old Order minus affected nodes is still sorted by
+	// (Dist, ID) — those distances did not move — and the settled run is
+	// sorted the same way, so one linear merge restores the canonical Order.
+	s.newOrder = s.newOrder[:0]
+	si := 0
+	for _, u := range t.Order {
+		if s.affected[u] {
+			continue
+		}
+		du := t.Dist[u]
+		for si < len(s.settled) {
+			f := s.settled[si]
+			df := t.Dist[f]
+			if df < du || (df == du && f < u) {
+				s.newOrder = append(s.newOrder, f)
+				si++
+			} else {
+				break
+			}
+		}
+		s.newOrder = append(s.newOrder, u)
+	}
+	s.newOrder = append(s.newOrder, s.settled[si:]...)
+	t.Order = append(t.Order[:0], s.newOrder...)
+}

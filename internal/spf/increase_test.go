@@ -1,0 +1,151 @@
+package spf
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"dualtopo/internal/graph"
+	"dualtopo/internal/topo"
+)
+
+// TestTreeIncreaseDirect drives random pure weight increases (including
+// Disabled) from a fresh full tree and asserts the partial update is
+// bitwise-equal to a from-scratch recomputation: distances, ECMP DAG, and
+// canonical order.
+func TestTreeIncreaseDirect(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		g, err := topo.Random(8, 12, 100, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumEdges()
+		w := make(Weights, n)
+		for i := range w {
+			w[i] = 1 + rng.IntN(6)
+		}
+		c := NewComputer(g)
+		for dest := 0; dest < g.NumNodes(); dest++ {
+			var base Tree
+			c.Tree(graph.NodeID(dest), w, &base)
+			// random pure increase on 1-3 arcs
+			w2 := w.Clone()
+			var changed []graph.EdgeID
+			k := 1 + rng.IntN(3)
+			for j := 0; j < k; j++ {
+				a := graph.EdgeID(rng.IntN(n))
+				if rng.IntN(4) == 0 {
+					w2[a] = Disabled
+				} else {
+					w2[a] = w[a] + 1 + rng.IntN(5)
+				}
+				if w2[a] != w[a] {
+					changed = append(changed, a)
+				}
+			}
+			if len(changed) == 0 {
+				continue
+			}
+			got := Tree{
+				Dest:  base.Dest,
+				Dist:  append([]int64(nil), base.Dist...),
+				Next:  make([][]graph.EdgeID, len(base.Next)),
+				Order: append([]graph.NodeID(nil), base.Order...),
+			}
+			for u := range base.Next {
+				got.Next[u] = append([]graph.EdgeID(nil), base.Next[u]...)
+			}
+			c.TreeIncrease(w2, &got, changed)
+			var want Tree
+			c.Tree(graph.NodeID(dest), w2, &want)
+			if !reflect.DeepEqual(got.Dist, want.Dist) {
+				t.Fatalf("seed %d dest %d: Dist mismatch\nchanged %v (w %v -> %v)\ngot  %v\nwant %v\nbase %v", seed, dest, changed, pick(w, changed), pick(w2, changed), got.Dist, want.Dist, base.Dist)
+			}
+			for u := range want.Next {
+				gu, wu := got.Next[u], want.Next[u]
+				if len(gu) == 0 && len(wu) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(gu, wu) {
+					t.Fatalf("seed %d dest %d: Next[%d] = %v, want %v", seed, dest, u, gu, wu)
+				}
+			}
+			if !reflect.DeepEqual(got.Order, want.Order) {
+				t.Fatalf("seed %d dest %d: Order = %v, want %v", seed, dest, got.Order, want.Order)
+			}
+		}
+	}
+}
+
+func pick(w Weights, arcs []graph.EdgeID) []int {
+	out := make([]int, len(arcs))
+	for i, a := range arcs {
+		out[i] = w[a]
+	}
+	return out
+}
+
+// TestTreeIncreaseChained applies sequences of pure increases through the
+// partial path without ever refreshing from a full tree, so classification
+// errors would compound and surface.
+func TestTreeIncreaseChained(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 10))
+		g, err := topo.Random(8, 12, 100, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumEdges()
+		w := make(Weights, n)
+		for i := range w {
+			w[i] = 1 + rng.IntN(6)
+		}
+		c := NewComputer(g)
+		for dest := 0; dest < g.NumNodes(); dest++ {
+			var got Tree
+			c.Tree(graph.NodeID(dest), w, &got)
+			cur := w.Clone()
+			for step := 0; step < 10; step++ {
+				w2 := cur.Clone()
+				var changed []graph.EdgeID
+				k := 1 + rng.IntN(3)
+				for j := 0; j < k; j++ {
+					a := graph.EdgeID(rng.IntN(n))
+					if cur[a] == Disabled {
+						continue
+					}
+					if rng.IntN(4) == 0 {
+						w2[a] = Disabled
+					} else {
+						w2[a] = cur[a] + 1 + rng.IntN(5)
+					}
+					if w2[a] != cur[a] {
+						changed = append(changed, a)
+					}
+				}
+				if len(changed) == 0 {
+					continue
+				}
+				c.TreeIncrease(w2, &got, changed)
+				var want Tree
+				c.Tree(graph.NodeID(dest), w2, &want)
+				if !reflect.DeepEqual(got.Dist, want.Dist) {
+					t.Fatalf("seed %d dest %d step %d: Dist\ngot  %v\nwant %v", seed, dest, step, got.Dist, want.Dist)
+				}
+				for u := range want.Next {
+					if len(got.Next[u]) == 0 && len(want.Next[u]) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got.Next[u], want.Next[u]) {
+						t.Fatalf("seed %d dest %d step %d: Next[%d] = %v, want %v", seed, dest, step, u, got.Next[u], want.Next[u])
+					}
+				}
+				if !reflect.DeepEqual(got.Order, want.Order) {
+					t.Fatalf("seed %d dest %d step %d: Order = %v, want %v", seed, dest, step, got.Order, want.Order)
+				}
+				cur = w2
+			}
+		}
+	}
+}

@@ -94,7 +94,8 @@ type Computer struct {
 	g    *graph.Graph
 	csr  *graph.CSR // flat adjacency snapshot, the traversal hot path
 	heap nodeHeap
-	flow []float64 // buffer for load aggregation
+	flow []float64       // buffer for load aggregation
+	inc  increaseScratch // TreeIncrease buffers
 }
 
 // NewComputer returns a Computer for g. The graph's structure and arc
