@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dualtopo"
+	"dualtopo/internal/benchkit"
 )
 
 // benchExperiment runs one registered experiment per iteration and reports
@@ -29,17 +30,7 @@ func benchExperiment(b *testing.B, id string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		peakRL = 0
-		for _, s := range rep.Series {
-			if s.Name == "L-cost ratio" || s.Name[:1] == "k" || s.Name[:1] == "f" ||
-				s.Name == "Uniform" || s.Name == "Local" {
-				for _, y := range s.Y {
-					if y > peakRL {
-						peakRL = y
-					}
-				}
-			}
-		}
+		peakRL = benchkit.PeakRL(rep)
 	}
 	if peakRL > 0 {
 		b.ReportMetric(peakRL, "peakRL")
@@ -133,20 +124,7 @@ func BenchmarkScenarioEngine(b *testing.B) {
 // benchInstance builds the standard 30-node random instance.
 func benchInstance(b *testing.B, kind dualtopo.ObjectiveKind) *dualtopo.Evaluator {
 	b.Helper()
-	rng := rand.New(rand.NewPCG(7, 7))
-	g, err := dualtopo.RandomTopology(30, 75, dualtopo.DefaultCapacity, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	dualtopo.AssignUniformDelays(g, 1.2, 15, rng)
-	tl := dualtopo.GravityMatrix(30, rng)
-	th, err := dualtopo.RandomHighPriorityMatrix(30, 0.1, 0.3, tl.Total(), rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	opts := dualtopo.DefaultOptions()
-	opts.Kind = kind
-	ev, err := dualtopo.NewEvaluator(g, th, tl, opts)
+	ev, err := benchkit.EvalInstance(kind)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -323,21 +301,26 @@ func BenchmarkObjectiveSTRSLA(b *testing.B) {
 }
 
 // BenchmarkSPFTree pins the cost and allocation count of one CSR-based
-// single-destination shortest-path computation (steady state: zero allocs).
+// single-destination shortest-path computation (steady state: zero allocs),
+// comparing the monotone bucket queue (new default) against the indexed
+// 4-ary heap fallback (the old-style comparison-based core).
 func BenchmarkSPFTree(b *testing.B) {
-	rng := rand.New(rand.NewPCG(3, 3))
-	g, err := dualtopo.RandomTopology(100, 250, dualtopo.DefaultCapacity, rng)
-	if err != nil {
-		b.Fatal(err)
-	}
-	comp := dualtopo.NewSPFComputer(g)
-	w := dualtopo.UniformWeights(g.NumEdges())
-	var tr dualtopo.SPFTree
-	comp.Tree(0, w, &tr) // warm the tree's buffers
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		comp.Tree(0, w, &tr)
+	for _, mode := range []string{"bucket", "heap"} {
+		b.Run(mode, func(b *testing.B) {
+			g, w, err := benchkit.SPFInstance()
+			if err != nil {
+				b.Fatal(err)
+			}
+			comp := dualtopo.NewSPFComputer(g)
+			comp.SetForceHeap(mode == "heap")
+			var tr dualtopo.SPFTree
+			comp.Tree(0, w, &tr) // warm the tree's buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				comp.Tree(0, w, &tr)
+			}
+		})
 	}
 }
 
@@ -349,43 +332,42 @@ func BenchmarkSPFTree(b *testing.B) {
 func BenchmarkDeltaVsFullRoute(b *testing.B) {
 	build := func(b *testing.B) (*dualtopo.Graph, *dualtopo.TrafficMatrix, dualtopo.Weights) {
 		b.Helper()
-		rng := rand.New(rand.NewPCG(21, 21))
-		g, err := dualtopo.RandomTopology(30, 75, dualtopo.DefaultCapacity, rng)
+		g, tm, w, err := benchkit.RouteInstance()
 		if err != nil {
 			b.Fatal(err)
-		}
-		dualtopo.AssignUniformDelays(g, 1.2, 15, rng)
-		tm := dualtopo.GravityMatrix(g.NumNodes(), rng)
-		w := dualtopo.UniformWeights(g.NumEdges())
-		for i := range w {
-			w[i] = 1 + rng.IntN(20)
 		}
 		return g, tm, w
 	}
 	// Each iteration moves one arc's weight by ±1 — the FindH/FindL step
 	// size — cycling through the arcs, and re-evaluates all per-arc loads.
-	step := func(w dualtopo.Weights, base dualtopo.Weights, i, m int) int {
-		arc := i % m
-		if w[arc] == base[arc] {
-			w[arc] = base[arc] + 1
-		} else {
-			w[arc] = base[arc]
-		}
-		return arc
+	step := benchkit.Step
+	// The full side carries a worker-count dimension: workers=1 is the
+	// sequential baseline, higher counts shard destinations across the SPF
+	// worker pool (bitwise-identical loads, wall-clock scaling with cores).
+	fullWorkers := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		fullWorkers = append(fullWorkers, n)
 	}
-	b.Run("full", func(b *testing.B) {
-		g, tm, w := build(b)
-		base := w.Clone()
-		plan := dualtopo.NewRoutingPlan(g, tm)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			step(w, base, i, g.NumEdges())
-			if err := plan.Route(w, tm); err != nil {
-				b.Fatal(err)
-			}
+	for _, workers := range fullWorkers {
+		name := "full"
+		if workers > 1 {
+			name = fmt.Sprintf("full-workers=%d", workers)
 		}
-	})
+		b.Run(name, func(b *testing.B) {
+			g, tm, w := build(b)
+			base := w.Clone()
+			plan := dualtopo.NewRoutingPlan(g, tm)
+			plan.SetWorkers(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step(w, base, i, g.NumEdges())
+				if err := plan.Route(w, tm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	b.Run("delta", func(b *testing.B) {
 		g, tm, w := build(b)
 		base := w.Clone()

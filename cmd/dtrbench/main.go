@@ -1,0 +1,250 @@
+// Command dtrbench runs the canonical dualtopo benchmark set and emits a
+// machine-readable JSON report (default BENCH_PR4.json) so the performance
+// trajectory of the routing core is tracked across PRs: per-benchmark
+// ns/op, bytes/op, allocs/op, and any extra metrics (full/delta speedup,
+// experiment peakRL). CI runs it on every push and uploads the report as an
+// artifact; compare reports across commits to spot regressions.
+//
+// Usage:
+//
+//	go run ./cmd/dtrbench [-o BENCH_PR4.json] [-benchtime 1s] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dualtopo"
+	"dualtopo/internal/benchkit"
+)
+
+// Report is the file-level JSON document.
+type Report struct {
+	Generated  string  `json:"generated"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's outcome.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so benchtime is settable
+	out := flag.String("o", "BENCH_PR4.json", "output report path ('-' for stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
+	quick := flag.Bool("quick", false, "skip the slow experiment benchmark")
+	flag.Parse()
+
+	// testing.Benchmark honors the -test.benchtime flag; set it explicitly so
+	// the report's cost is predictable.
+	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fatal(err)
+	}
+
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	type namedBench struct {
+		name string
+		fn   func(*testing.B)
+	}
+	benches := []namedBench{
+		{"spf_tree/bucket", benchSPFTree(false)},
+		{"spf_tree/heap", benchSPFTree(true)},
+		{"route_full/workers=1", benchRouteFull(1)},
+		{"route_full/workers=2", benchRouteFull(2)},
+		{"route_full/workers=4", benchRouteFull(4)},
+		{"delta_apply", benchDeltaApply},
+		{"delta_vs_full_speedup", benchDeltaVsFull},
+		{"evaluate_dtr/workers=1", benchEvaluateDTR(1)},
+		{"evaluate_dtr/workers=4", benchEvaluateDTR(4)},
+	}
+	if !*quick {
+		benches = append(benches, namedBench{"experiment_fig2a_tiny", benchExperiment("fig2a")})
+	}
+
+	for _, nb := range benches {
+		fmt.Fprintf(os.Stderr, "running %-28s ", nb.name+"...")
+		res := testing.Benchmark(nb.fn)
+		e := Entry{
+			Name:        nb.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			e.Metrics = res.Extra
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %3d allocs/op\n", e.NsPerOp, e.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtrbench:", err)
+	os.Exit(1)
+}
+
+// routeInstance builds the 30-node full-route instance used by the delta
+// and worker-scaling benchmarks (every destination active).
+func routeInstance(b *testing.B) (*dualtopo.Graph, *dualtopo.TrafficMatrix, dualtopo.Weights) {
+	b.Helper()
+	g, tm, w, err := benchkit.RouteInstance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, tm, w
+}
+
+func benchSPFTree(forceHeap bool) func(*testing.B) {
+	return func(b *testing.B) {
+		g, w, err := benchkit.SPFInstance()
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp := dualtopo.NewSPFComputer(g)
+		comp.SetForceHeap(forceHeap)
+		var tr dualtopo.SPFTree
+		comp.Tree(0, w, &tr)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comp.Tree(0, w, &tr)
+		}
+	}
+}
+
+func benchRouteFull(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		g, tm, w := routeInstance(b)
+		plan := dualtopo.NewRoutingPlan(g, tm)
+		plan.SetWorkers(workers)
+		if err := plan.Route(w, tm); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.Route(w, tm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchDeltaApply(b *testing.B) {
+	g, tm, w := routeInstance(b)
+	base := w.Clone()
+	dr := dualtopo.NewDeltaRouter(g, tm)
+	if err := dr.Route(w); err != nil {
+		b.Fatal(err)
+	}
+	changed := make([]dualtopo.EdgeID, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		changed[0] = dualtopo.EdgeID(benchkit.Step(w, base, i, g.NumEdges()))
+		if _, err := dr.Apply(w, changed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDeltaVsFull(b *testing.B) {
+	g, tm, w := routeInstance(b)
+	base := w.Clone()
+	plan := dualtopo.NewRoutingPlan(g, tm)
+	dr := dualtopo.NewDeltaRouter(g, tm)
+	if err := dr.Route(w); err != nil {
+		b.Fatal(err)
+	}
+	changed := make([]dualtopo.EdgeID, 1)
+	var tFull, tDelta time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		changed[0] = dualtopo.EdgeID(benchkit.Step(w, base, i, g.NumEdges()))
+		t0 := time.Now()
+		if err := plan.Route(w, tm); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := dr.Apply(w, changed); err != nil {
+			b.Fatal(err)
+		}
+		tFull += t1.Sub(t0)
+		tDelta += time.Since(t1)
+	}
+	b.ReportMetric(float64(tFull)/float64(tDelta), "full/delta-x")
+}
+
+func benchEvaluateDTR(routeWorkers int) func(*testing.B) {
+	return func(b *testing.B) {
+		ev, err := benchkit.EvalInstance(dualtopo.LoadBased)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev.SetRouteWorkers(routeWorkers)
+		w := dualtopo.UniformWeights(ev.Graph().NumEdges())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.EvaluateDTR(w, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchExperiment replays the root benchmark suite's figure runner at the
+// tiny preset and reports peakRL, the headline reproduction metric.
+func benchExperiment(id string) func(*testing.B) {
+	return func(b *testing.B) {
+		preset := dualtopo.TinyPreset()
+		var peakRL float64
+		for i := 0; i < b.N; i++ {
+			rep, err := dualtopo.RunExperiment(id, preset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			peakRL = benchkit.PeakRL(rep)
+		}
+		if peakRL > 0 {
+			b.ReportMetric(peakRL, "peakRL")
+		}
+	}
+}

@@ -55,6 +55,7 @@ func main() {
 	fseed := flag.Uint64("fseed", 1, "failure sampling seed")
 	robust := flag.Bool("robust", false, "make the DTR search failure-aware (scored on the same model)")
 	mode := flag.String("mode", "delta", "sweep mode: delta|full|verify")
+	routeWorkers := flag.Int("route-workers", 0, "SPF workers for full/verify evaluations (results are identical)")
 	flag.Parse()
 
 	kindName := map[string]eval.Kind{"load": eval.LoadBased, "sla": eval.SLABased}
@@ -86,6 +87,7 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q (delta|full|verify)", *mode)
 	}
+	opts.RouteWorkers = *routeWorkers
 
 	spec := scenario.InstanceSpec{
 		Topology:   *topology,

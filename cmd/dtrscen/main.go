@@ -69,13 +69,14 @@ run flags:
 
 // runFlags builds the run flag set; cfg receives parsed values when non-nil.
 type runConfig struct {
-	preset  string
-	budget  string
-	workers int
-	trials  int
-	seed    int64
-	out     string
-	quiet   bool
+	preset       string
+	budget       string
+	workers      int
+	routeWorkers int
+	trials       int
+	seed         int64
+	out          string
+	quiet        bool
 }
 
 func runFlags(cfg *runConfig) *flag.FlagSet {
@@ -86,6 +87,7 @@ func runFlags(cfg *runConfig) *flag.FlagSet {
 	fs.StringVar(&cfg.preset, "preset", "", "bundled preset name (see 'dtrscen list')")
 	fs.StringVar(&cfg.budget, "budget", "", "override search budget tier: tiny|small|paper")
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.routeWorkers, "route-workers", 0, "SPF workers inside each trial's full evaluations (results are identical; useful when -workers is small on a many-core machine)")
 	fs.IntVar(&cfg.trials, "trials", 0, "override trials per load point")
 	fs.Int64Var(&cfg.seed, "seed", -1, "override campaign seed (-1 = keep spec's)")
 	fs.StringVar(&cfg.out, "o", "", "write JSON-lines trial records to this file instead of stdout")
@@ -177,7 +179,8 @@ func cmdRun(args []string) {
 		}
 
 		opts := scenario.Options{
-			Workers: cfg.workers,
+			Workers:      cfg.workers,
+			RouteWorkers: cfg.routeWorkers,
 			OnTrial: func(tr scenario.TrialResult) {
 				if err := enc.Encode(tr); err != nil {
 					log.Fatal(err)

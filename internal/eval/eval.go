@@ -275,6 +275,20 @@ func (e *Evaluator) Clone() *Evaluator {
 	}
 }
 
+// SetRouteWorkers bounds the SPF worker pool used by this evaluator's full
+// routing passes (EvaluateSTR/EvaluateDTR and the Objective* fast paths):
+// destinations are sharded across per-worker SPF computers and reduced in
+// destination order, so results stay bitwise-identical to sequential
+// routing. n <= 1 restores sequential routing. Callers that evaluate on
+// evaluator pools should keep pool members sequential and scope parallel
+// routing to single-threaded phases (e.g. a search's full refresh), or the
+// pools oversubscribe the machine.
+func (e *Evaluator) SetRouteWorkers(n int) {
+	e.planH.SetWorkers(n)
+	e.planL.SetWorkers(n)
+	e.planSTR.SetWorkers(n)
+}
+
 // ResetDelta discards the incremental evaluation state backing the
 // Objective*Delta paths, forcing the next delta call to re-prime with a full
 // route. Searches call this when they start so that a reused Evaluator

@@ -1,0 +1,56 @@
+package resilience
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestRouteWorkersSweepBitwiseTransparent runs the from-scratch sweep modes
+// with the parallel full-route enabled and requires bitwise-identical
+// sweeps: sharded routing must be invisible to FullEval results and to the
+// Verify oracle.
+func TestRouteWorkersSweepBitwiseTransparent(t *testing.T) {
+	e := testEvaluator(t, 21)
+	g := e.Graph()
+	rng := rand.New(rand.NewPCG(23, 5))
+	wSTR := randWeights(g.NumEdges(), rng)
+	wH := randWeights(g.NumEdges(), rng)
+	wL := randWeights(g.NumEdges(), rng)
+	states, err := Enumerate(g, Model{Kind: KindLink, Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := NewSweeper(e, Options{FullEval: true})
+	par := NewSweeper(e, Options{FullEval: true, RouteWorkers: 4})
+
+	ss, err := seq.SweepSTR(wSTR, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := par.SweepSTR(wSTR, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSweeps(t, "STR", ps, ss)
+
+	sd, err := seq.SweepDTR(wH, wL, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := par.SweepDTR(wH, wL, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSweeps(t, "DTR", pd, sd)
+
+	// The Verify oracle compares the delta path against parallel full
+	// evaluations; any divergence fails the sweep internally.
+	verify := NewSweeper(e, Options{Verify: true, RouteWorkers: 4})
+	if _, err := verify.SweepSTR(wSTR, states); err != nil {
+		t.Fatalf("verify STR with route workers: %v", err)
+	}
+	if _, err := verify.SweepDTR(wH, wL, states); err != nil {
+		t.Fatalf("verify DTR with route workers: %v", err)
+	}
+}

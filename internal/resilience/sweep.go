@@ -21,6 +21,11 @@ type Options struct {
 	// intact baseline) from scratch too, failing the sweep on any bitwise
 	// disagreement — including disagreement about disconnection. Debug mode.
 	Verify bool
+	// RouteWorkers bounds the SPF worker pool used by the from-scratch
+	// evaluations of the FullEval and Verify modes; 0 or 1 keeps them
+	// sequential. Parallel routing is bitwise-identical to sequential, so
+	// sweep results (and Verify verdicts) do not depend on this setting.
+	RouteWorkers int
 }
 
 // Sweeper evaluates routings under failure states for one problem instance.
@@ -48,7 +53,7 @@ type Sweeper struct {
 func NewSweeper(e *eval.Evaluator, opts Options) *Sweeper {
 	g := e.Graph()
 	th, tl := e.Matrices()
-	return &Sweeper{
+	s := &Sweeper{
 		g:        g,
 		th:       th,
 		tl:       tl,
@@ -56,6 +61,12 @@ func NewSweeper(e *eval.Evaluator, opts Options) *Sweeper {
 		e:        e.Clone(),
 		opts:     opts,
 	}
+	// The sweeper's evaluator is a private clone driven sequentially, so it
+	// can keep the parallel full-route enabled for its lifetime.
+	if opts.RouteWorkers > 1 {
+		s.e.SetRouteWorkers(opts.RouteWorkers)
+	}
+	return s
 }
 
 // Sweep is the outcome of evaluating one routing under a state set.

@@ -65,6 +65,13 @@ type Progress struct {
 type Options struct {
 	// Workers bounds concurrently executed trials; 0 means GOMAXPROCS.
 	Workers int
+	// RouteWorkers bounds the SPF worker pool used inside each trial's full
+	// routing passes (search initialization and refreshes, failure-sweep
+	// baselines); 0 or 1 keeps them sequential. Parallel routing is
+	// bitwise-identical to sequential, so campaign results never depend on
+	// it. Most useful when Workers is small relative to the machine — e.g. a
+	// campaign of a few heavy trials on a many-core box.
+	RouteWorkers int
 	// OnTrial, when non-nil, receives every completed trial in work-list
 	// order (the engine buffers out-of-order completions), so streamed
 	// output is reproducible regardless of Workers.
@@ -98,6 +105,12 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.RouteWorkers > 1 {
+		// Thread the parallel full-route into every trial's searches; results
+		// stay bitwise-identical, only trial setup gets faster.
+		budget.DTR.RouteWorkers = opts.RouteWorkers
+		budget.STR.RouteWorkers = opts.RouteWorkers
+	}
 	items := spec.WorkList()
 	workers := opts.Workers
 	if workers < 1 {
@@ -121,7 +134,7 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range idxCh {
-				results[i], errs[i] = runTrial(spec, items[i], budget)
+				results[i], errs[i] = runTrial(spec, items[i], budget, opts.RouteWorkers)
 				doneCh <- i
 			}
 		}()
@@ -159,7 +172,8 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 }
 
 // runTrial optimizes one work item and condenses it into a TrialResult.
-func runTrial(spec Spec, it WorkItem, b Budget) (TrialResult, error) {
+// routeWorkers sizes the SPF pool of the trial's full evaluations.
+func runTrial(spec Spec, it WorkItem, b Budget, routeWorkers int) (TrialResult, error) {
 	start := time.Now()
 	pt, err := RunPoint(it.Spec, b)
 	if err != nil {
@@ -188,7 +202,7 @@ func runTrial(spec Spec, it WorkItem, b Budget) (TrialResult, error) {
 		if err != nil {
 			return TrialResult{}, err
 		}
-		sw := resilience.NewSweeper(e, resilience.Options{})
+		sw := resilience.NewSweeper(e, resilience.Options{RouteWorkers: routeWorkers})
 		fs, err := resilience.CompareSchemes(sw, pt.STR.W, pt.DTR.WH, pt.DTR.WL, states)
 		if err != nil {
 			return TrialResult{}, err

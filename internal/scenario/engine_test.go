@@ -19,21 +19,25 @@ func fastSpec() Spec {
 }
 
 // TestRunDeterministicAcrossWorkers is the engine's core contract: the same
-// spec must produce byte-identical aggregates at any worker count, and
-// across repeated runs.
+// spec must produce byte-identical aggregates at any worker count — and at
+// any SPF route-worker count — and across repeated runs.
 func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	var blobs [][]byte
 	var streams []string
-	for _, workers := range []int{1, 4, 1} { // 1 again: repeat-run check
+	configs := []Options{
+		{Workers: 1},
+		{Workers: 4},
+		{Workers: 1}, // repeat-run check
+		{Workers: 2, RouteWorkers: 4}, // parallel full-route inside trials
+	}
+	for _, opts := range configs {
 		var stream bytes.Buffer
-		res, err := Run(fastSpec(), Options{
-			Workers: workers,
-			OnTrial: func(tr TrialResult) {
-				// Timing varies run to run; everything else must not.
-				tr.ElapsedMs = 0
-				stream.WriteString(trKey(tr))
-			},
-		})
+		opts.OnTrial = func(tr TrialResult) {
+			// Timing varies run to run; everything else must not.
+			tr.ElapsedMs = 0
+			stream.WriteString(trKey(tr))
+		}
+		res, err := Run(fastSpec(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,8 +54,13 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	if !bytes.Equal(blobs[0], blobs[2]) {
 		t.Errorf("aggregates differ between repeated runs:\n%s\nvs\n%s", blobs[0], blobs[2])
 	}
-	if streams[0] != streams[1] || streams[0] != streams[2] {
-		t.Error("trial stream order/content depends on workers")
+	if !bytes.Equal(blobs[0], blobs[3]) {
+		t.Errorf("aggregates differ when RouteWorkers is enabled:\n%s\nvs\n%s", blobs[0], blobs[3])
+	}
+	for i := 1; i < len(streams); i++ {
+		if streams[0] != streams[i] {
+			t.Errorf("trial stream order/content depends on config %d", i)
+		}
 	}
 }
 

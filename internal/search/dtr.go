@@ -75,7 +75,9 @@ func DTRFrom(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*DTRResult, err
 	if s.err != nil {
 		return nil, s.err
 	}
+	s.parallelRouting(true)
 	best, err := e.EvaluateDTR(s.bestWH, s.bestWL)
+	s.parallelRouting(false)
 	if err != nil {
 		return nil, err
 	}
@@ -182,10 +184,26 @@ func newDTRSearch(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*dtrSearch
 	return s, nil
 }
 
+// parallelRouting toggles the parallel full-route on the primary evaluator.
+// It is scoped to the search's single-threaded phases (full refreshes, the
+// final evaluation): during candidate evaluation the pool's goroutines are
+// the parallelism, and s.e is pool[0], so it must route sequentially there.
+func (s *dtrSearch) parallelRouting(on bool) {
+	if s.p.RouteWorkers > 1 {
+		w := 1
+		if on {
+			w = s.p.RouteWorkers
+		}
+		s.e.SetRouteWorkers(w)
+	}
+}
+
 // refreshFull re-evaluates the current solution from scratch, including its
 // robust penalty when failure-aware scoring is on.
 func (s *dtrSearch) refreshFull() error {
+	s.parallelRouting(true)
 	r, err := s.e.EvaluateDTR(s.wH, s.wL)
+	s.parallelRouting(false)
 	if err != nil {
 		return err
 	}
@@ -359,7 +377,9 @@ func (s *dtrSearch) findH() bool {
 		s.curRob = s.robustAdd[bestIdx]
 	}
 	s.noteHChange(s.candArcs[bestIdx][:])
+	s.parallelRouting(true)
 	r, err := s.e.EvaluateHWithLLoads(s.wH, s.cur.LLoads)
+	s.parallelRouting(false)
 	if err != nil {
 		s.err = err
 		return false
@@ -422,7 +442,9 @@ func (s *dtrSearch) findL() bool {
 		s.curRob = s.robustAdd[bestIdx]
 	}
 	s.noteLChange(s.candArcs[bestIdx][:])
+	s.parallelRouting(true)
 	r, err := s.e.EvaluateLWithBase(s.wL, s.cur)
+	s.parallelRouting(false)
 	if err != nil {
 		s.err = err
 		return false

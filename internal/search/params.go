@@ -70,6 +70,13 @@ type Params struct {
 	Seed uint64
 	// Workers bounds concurrent neighbor evaluations; 0 means GOMAXPROCS.
 	Workers int
+	// RouteWorkers bounds the SPF worker pool used for the search's full
+	// solution refreshes (initialization, accepts after diversification, and
+	// the final evaluation). 0 or 1 keeps routing sequential. Parallel
+	// routing is bitwise-identical to sequential, so the search trajectory
+	// does not depend on this setting. Candidate evaluations are unaffected:
+	// they already parallelize across Workers.
+	RouteWorkers int
 	// FullEval forces full re-evaluation of every candidate instead of the
 	// incremental delta paths (default). Both modes produce bitwise-identical
 	// search trajectories; full evaluation exists as a baseline for
@@ -121,6 +128,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("search: step=%d < 1", p.Step)
 	case p.Workers < 0:
 		return fmt.Errorf("search: workers=%d < 0", p.Workers)
+	case p.RouteWorkers < 0:
+		return fmt.Errorf("search: route workers=%d < 0", p.RouteWorkers)
 	}
 	return p.Robust.validate()
 }
@@ -152,6 +161,10 @@ type STRParams struct {
 	Epsilons []float64
 	// Workers bounds concurrent candidate evaluations; 0 means GOMAXPROCS.
 	Workers int
+	// RouteWorkers bounds the SPF worker pool used for the search's full
+	// evaluations (initialization, diversification refreshes, the final
+	// evaluation); see Params.RouteWorkers.
+	RouteWorkers int
 	// FullEval forces full candidate evaluation; see Params.FullEval.
 	FullEval bool
 	// VerifyDelta asserts delta == full on every accept; see
@@ -188,6 +201,8 @@ func (p STRParams) Validate() error {
 		return fmt.Errorf("search: STR WMax=%d < 2", p.WMax)
 	case p.Workers < 0:
 		return fmt.Errorf("search: STR workers=%d < 0", p.Workers)
+	case p.RouteWorkers < 0:
+		return fmt.Errorf("search: STR route workers=%d < 0", p.RouteWorkers)
 	}
 	for _, e := range p.Epsilons {
 		if e < 0 {

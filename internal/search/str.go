@@ -71,7 +71,9 @@ func STRFrom(e *eval.Evaluator, w0 spf.Weights, p STRParams) (*STRResult, error)
 	s.pending = make([][]graph.EdgeID, workers)
 	s.mergeBuf = make([][]graph.EdgeID, workers)
 
+	s.parallelRouting(true)
 	first, err := e.ObjectiveSTR(s.w)
+	s.parallelRouting(false)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +96,9 @@ func STRFrom(e *eval.Evaluator, w0 spf.Weights, p STRParams) (*STRResult, error)
 		}
 		if sinceImprove >= p.M {
 			s.noteChange(s.perturb())
+			s.parallelRouting(true)
 			obj, err := e.ObjectiveSTR(s.w)
+			s.parallelRouting(false)
 			if err != nil {
 				return nil, err
 			}
@@ -109,7 +113,9 @@ func STRFrom(e *eval.Evaluator, w0 spf.Weights, p STRParams) (*STRResult, error)
 		}
 	}
 
+	s.parallelRouting(true)
 	best, err := e.EvaluateSTR(s.bestW)
+	s.parallelRouting(false)
 	if err != nil {
 		return nil, err
 	}
@@ -141,6 +147,18 @@ type strSearch struct {
 
 	relaxed map[float64]RelaxedRecord
 	evals   int64
+}
+
+// parallelRouting toggles the parallel full-route on the primary evaluator;
+// see dtrSearch.parallelRouting for the scoping rationale.
+func (s *strSearch) parallelRouting(on bool) {
+	if s.p.RouteWorkers > 1 {
+		w := 1
+		if on {
+			w = s.p.RouteWorkers
+		}
+		s.e.SetRouteWorkers(w)
+	}
 }
 
 // noteChange records an incumbent move on the given arcs for every worker's

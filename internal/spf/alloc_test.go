@@ -1,0 +1,102 @@
+package spf
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dualtopo/internal/graph"
+	"dualtopo/internal/topo"
+	"dualtopo/internal/traffic"
+)
+
+// Allocation-regression tests: the SPF hot path must be allocation-free in
+// steady state. Each case warms the buffers once, then asserts zero allocs
+// per run — the property that keeps full-route evaluation GC-silent inside
+// search and sweep inner loops.
+
+func allocInstance(t *testing.T) (*graph.Graph, Weights, *traffic.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7, 21))
+	g, err := topo.Random(40, 100, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, randomWeights(g.NumEdges(), 30, rng), traffic.Gravity(40, rng)
+}
+
+func TestComputerTreeZeroSteadyStateAllocs(t *testing.T) {
+	g, w, _ := allocInstance(t)
+	c := NewComputer(g)
+	var tr Tree
+	c.Tree(0, w, &tr) // warm
+	if allocs := testing.AllocsPerRun(50, func() {
+		c.Tree(0, w, &tr)
+	}); allocs != 0 {
+		t.Fatalf("Computer.Tree allocates %.1f objects per warm run, want 0", allocs)
+	}
+	// The heap fallback must be zero-alloc too.
+	c.SetForceHeap(true)
+	c.Tree(0, w, &tr)
+	if allocs := testing.AllocsPerRun(50, func() {
+		c.Tree(0, w, &tr)
+	}); allocs != 0 {
+		t.Fatalf("Computer.Tree (heap fallback) allocates %.1f objects per warm run, want 0", allocs)
+	}
+}
+
+func TestAddLoadsZeroSteadyStateAllocs(t *testing.T) {
+	g, w, tm := allocInstance(t)
+	c := NewComputer(g)
+	var tr Tree
+	c.Tree(0, w, &tr)
+	demand := tm.DemandsTo(0, nil)
+	loads := make([]float64, g.NumEdges())
+	if err := c.AddLoads(&tr, demand, loads); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := c.AddLoads(&tr, demand, loads); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("AddLoads allocates %.1f objects per warm run, want 0", allocs)
+	}
+}
+
+func TestMultiPlanRouteZeroSteadyStateAllocs(t *testing.T) {
+	g, w, tm := allocInstance(t)
+	rng := rand.New(rand.NewPCG(9, 9))
+	tm2 := traffic.Gravity(g.NumNodes(), rng)
+	p := NewMultiPlan(g, tm, tm2)
+	if err := p.Route(w, tm, tm2); err != nil { // warm
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if err := p.Route(w, tm, tm2); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("MultiPlan.Route allocates %.1f objects per warm run, want 0", allocs)
+	}
+}
+
+func TestTreeIncreaseZeroSteadyStateAllocs(t *testing.T) {
+	g, w, _ := allocInstance(t)
+	c := NewComputer(g)
+	var tr Tree
+	c.Tree(0, w, &tr)
+	w2 := w.Clone()
+	w2[3] = Disabled
+	changed := []graph.EdgeID{3}
+	// Warm both directions of the toggle.
+	c.TreeIncrease(w2, &tr, changed)
+	c.Tree(0, w, &tr)
+	c.TreeIncrease(w2, &tr, changed)
+	c.Tree(0, w, &tr)
+	if allocs := testing.AllocsPerRun(50, func() {
+		c.TreeIncrease(w2, &tr, changed)
+		c.Tree(0, w, &tr) // restore the pre-increase tree for the next run
+	}); allocs != 0 {
+		t.Fatalf("TreeIncrease+Tree allocates %.1f objects per warm run, want 0", allocs)
+	}
+}

@@ -99,17 +99,16 @@ type DeltaRouter struct {
 }
 
 // destSave is one destination's checkpointed routing state: a deep tree
-// copy (Next flattened into one arc run plus per-node lengths, avoiding a
-// slice copy per node) plus, per matrix, the support list and its load
-// values.
+// copy (the tree's flat arrays copy with three memmoves) plus, per matrix,
+// the support list and its load values.
 type destSave struct {
-	dest     graph.NodeID
-	dist     []int64
-	order    []graph.NodeID
-	nextFlat []graph.EdgeID
-	nextLen  []int32
-	sup      [][]graph.EdgeID
-	vals     [][]float64
+	dest      graph.NodeID
+	dist      []int64
+	order     []graph.NodeID
+	nextStart []int32
+	nextArcs  []graph.EdgeID
+	sup       [][]graph.EdgeID
+	vals      [][]float64
 }
 
 // NewDeltaRouter prepares incremental routing state for the union of
@@ -253,10 +252,11 @@ func (r *DeltaRouter) Route(w Weights) error {
 			loads[a] = 0
 		}
 	}
+	maxW := r.comp.maxWFor(r.w)
 	for di, dest := range r.dests {
 		r.dirty[di] = true
 		t := &r.trees[di]
-		r.comp.Tree(dest, r.w, t)
+		r.comp.tree(dest, r.w, t, maxW)
 		for mi := range r.tms {
 			dem := r.demands[di][mi]
 			if dem == nil {
@@ -266,7 +266,7 @@ func (r *DeltaRouter) Route(w Weights) error {
 			for _, a := range r.supports[di][mi] {
 				pd[a] = 0
 			}
-			sup, err := r.addLoadsTracked(t, dem, pd, r.supports[di][mi][:0])
+			sup, err := r.comp.addLoadsTracked(t, dem, pd, r.supports[di][mi][:0])
 			r.supports[di][mi] = sup
 			if err != nil {
 				return err
@@ -279,45 +279,6 @@ func (r *DeltaRouter) Route(w Weights) error {
 	}
 	r.valid = true
 	return nil
-}
-
-// addLoadsTracked is Computer.AddLoads with support tracking: it performs
-// the identical floating-point accumulation into pd (which must be zeroed)
-// while appending each arc that becomes loaded to sup. Keeping it
-// instruction-identical to AddLoads is what preserves bitwise equality with
-// the full routing path.
-func (r *DeltaRouter) addLoadsTracked(t *Tree, demand, pd []float64, sup []graph.EdgeID) ([]graph.EdgeID, error) {
-	c := r.comp
-	flow := c.flow
-	for i := range flow {
-		flow[i] = 0
-	}
-	for u, d := range demand {
-		if d == 0 {
-			continue
-		}
-		if !t.Reaches(graph.NodeID(u)) {
-			return sup, fmt.Errorf("spf: node %d has demand %g but no path to %d", u, d, t.Dest)
-		}
-		flow[u] = d
-	}
-	to := c.csr.To
-	for i := len(t.Order) - 1; i >= 0; i-- {
-		u := t.Order[i]
-		f := flow[u]
-		if f == 0 || u == t.Dest {
-			continue
-		}
-		share := f / float64(len(t.Next[u]))
-		for _, id := range t.Next[u] {
-			if pd[id] == 0 {
-				sup = append(sup, id)
-			}
-			pd[id] += share
-			flow[to[id]] += share
-		}
-	}
-	return sup, nil
 }
 
 // Apply transitions the router to w, where changed lists every arc whose
@@ -393,6 +354,10 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 	// Recompute dirty trees and their per-destination load vectors. Every
 	// arc in the union of old and new supports is "touched"; all passes are
 	// support-sized, never arc-count-sized.
+	maxW := 0
+	if !pureInc {
+		maxW = r.comp.maxWFor(r.w) // one scan for all dirty full recomputes
+	}
 	r.touchList = r.touchList[:0]
 	mark := func(a graph.EdgeID) {
 		if !r.touched[a] {
@@ -417,14 +382,14 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 			r.comp.TreeIncrease(r.w, t, actual)
 			r.stats.TreesPartial++
 		} else {
-			r.comp.Tree(r.dests[di], r.w, t)
+			r.comp.tree(r.dests[di], r.w, t, maxW)
 		}
 		for mi := range r.tms {
 			dem := r.demands[di][mi]
 			if dem == nil {
 				continue
 			}
-			sup, err := r.addLoadsTracked(t, dem, r.perDest[di][mi], r.supports[di][mi][:0])
+			sup, err := r.comp.addLoadsTracked(t, dem, r.perDest[di][mi], r.supports[di][mi][:0])
 			r.supports[di][mi] = sup
 			if err != nil {
 				r.valid = false
@@ -532,12 +497,8 @@ func (r *DeltaRouter) saveDest(di int) {
 	ds.dest = t.Dest
 	ds.dist = append(ds.dist[:0], t.Dist...)
 	ds.order = append(ds.order[:0], t.Order...)
-	ds.nextFlat = ds.nextFlat[:0]
-	ds.nextLen = ds.nextLen[:0]
-	for u := range t.Next {
-		ds.nextFlat = append(ds.nextFlat, t.Next[u]...)
-		ds.nextLen = append(ds.nextLen, int32(len(t.Next[u])))
-	}
+	ds.nextStart = append(ds.nextStart[:0], t.NextStart...)
+	ds.nextArcs = append(ds.nextArcs[:0], t.NextArcs...)
 	if ds.sup == nil {
 		ds.sup = make([][]graph.EdgeID, len(r.tms))
 		ds.vals = make([][]float64, len(r.tms))
@@ -569,11 +530,8 @@ func (r *DeltaRouter) Revert() {
 		t := &r.trees[di]
 		t.Dest = ds.dest
 		t.Dist = append(t.Dist[:0], ds.dist...)
-		pos := 0
-		for u, ln := range ds.nextLen {
-			t.Next[u] = append(t.Next[u][:0], ds.nextFlat[pos:pos+int(ln)]...)
-			pos += int(ln)
-		}
+		t.NextStart = append(t.NextStart[:0], ds.nextStart...)
+		t.NextArcs = append(t.NextArcs[:0], ds.nextArcs...)
 		t.Order = append(t.Order[:0], ds.order...)
 		for mi := range r.tms {
 			pd := r.perDest[di][mi]

@@ -62,13 +62,14 @@ func assertTreesEqual(t *testing.T, step int, dr *DeltaRouter, ref *MultiPlan) {
 				t.Fatalf("step %d dest %d: Order[%d] = %d, want %d", step, dest, i, dt.Order[i], rt.Order[i])
 			}
 		}
-		for u := range dt.Next {
-			if len(dt.Next[u]) != len(rt.Next[u]) {
-				t.Fatalf("step %d dest %d: Next[%d] = %v, want %v", step, dest, u, dt.Next[u], rt.Next[u])
+		for u := range dt.Dist {
+			du, ru := dt.Next(graph.NodeID(u)), rt.Next(graph.NodeID(u))
+			if len(du) != len(ru) {
+				t.Fatalf("step %d dest %d: Next(%d) = %v, want %v", step, dest, u, du, ru)
 			}
-			for i := range dt.Next[u] {
-				if dt.Next[u][i] != rt.Next[u][i] {
-					t.Fatalf("step %d dest %d: Next[%d] = %v, want %v", step, dest, u, dt.Next[u], rt.Next[u])
+			for i := range du {
+				if du[i] != ru[i] {
+					t.Fatalf("step %d dest %d: Next(%d) = %v, want %v", step, dest, u, du, ru)
 				}
 			}
 		}

@@ -16,11 +16,16 @@ import "dualtopo/internal/graph"
 type increaseScratch struct {
 	arcChanged []bool // per arc: weight increased this transition
 	affected   []bool // per node: every shortest path destroyed
-	rebuild    []bool // per node: Next list must be rebuilt
+	rebuild    []bool // per node: Next run must be rebuilt
 	fList      []graph.NodeID
 	rList      []graph.NodeID
 	newOrder   []graph.NodeID
 	settled    []graph.NodeID
+	// newStart/newArcs double-buffer the flat ECMP rebuild; they swap with
+	// the tree's own arrays each call, so the rebuild is allocation-free
+	// once warm.
+	newStart []int32
+	newArcs  []graph.EdgeID
 }
 
 func (s *increaseScratch) ensure(n, m int) {
@@ -31,6 +36,9 @@ func (s *increaseScratch) ensure(n, m int) {
 		s.affected = make([]bool, n)
 		s.rebuild = make([]bool, n)
 	}
+	if cap(s.newStart) < n+1 {
+		s.newStart = make([]int32, n+1)
+	}
 }
 
 // TreeIncrease updates t — a valid tree for this Computer's graph under some
@@ -40,7 +48,8 @@ func (s *increaseScratch) ensure(n, m int) {
 func (c *Computer) TreeIncrease(w Weights, t *Tree, changed []graph.EdgeID) {
 	csr := c.csr
 	s := &c.inc
-	s.ensure(csr.NumNodes(), csr.NumArcs())
+	n := csr.NumNodes()
+	s.ensure(n, csr.NumArcs())
 	for _, a := range changed {
 		s.arcChanged[a] = true
 	}
@@ -56,7 +65,7 @@ func (c *Computer) TreeIncrease(w Weights, t *Tree, changed []graph.EdgeID) {
 			continue
 		}
 		aff := true
-		for _, a := range t.Next[u] {
+		for _, a := range t.Next(u) {
 			if !s.arcChanged[a] && !s.affected[csr.To[a]] {
 				aff = false
 				break
@@ -93,27 +102,54 @@ func (c *Computer) TreeIncrease(w Weights, t *Tree, changed []graph.EdgeID) {
 		c.resettleAffected(w, t, s)
 	}
 
-	// Rebuild Next for the rebuild set, scanning each node's out-arcs in
+	// Rebuild the flat ECMP DAG: rebuild-set nodes rescan their out-arcs in
 	// CSR order — ascending arc ID, the same per-node order the full build's
-	// all-arcs scan produces.
-	for _, u := range s.rList {
-		t.Next[u] = t.Next[u][:0]
-		du := t.Dist[u]
-		if du == unreachable {
+	// counting sort produces. Nodes outside the rebuild set keep their runs
+	// verbatim: a changed run length shifts every downstream offset, so the
+	// flat layout cannot patch in place, but maximal spans of consecutive
+	// kept nodes are moved with a single copy and an offset shift, making
+	// the compaction one memmove per rebuild-set boundary plus an O(n)
+	// integer pass — not per-node slice work. (Checkpointed sweeps already
+	// pay this order per dirty destination in saveDest; what the flat layout
+	// buys back is zero-alloc contiguous iteration on every hot pass.)
+	newStart := s.newStart[:n+1]
+	newArcs := s.newArcs[:0]
+	oldStart, oldArcs := t.NextStart, t.NextArcs
+	for u := 0; u < n; {
+		if !s.rebuild[u] {
+			v := u + 1
+			for v < n && !s.rebuild[v] {
+				v++
+			}
+			delta := int32(len(newArcs)) - oldStart[u]
+			for x := u; x < v; x++ {
+				newStart[x] = oldStart[x] + delta
+			}
+			newArcs = append(newArcs, oldArcs[oldStart[u]:oldStart[v]]...)
+			u = v
 			continue
 		}
-		lo, hi := csr.OutStart[u], csr.OutStart[u+1]
-		for i := lo; i < hi; i++ {
-			id := csr.OutArcs[i]
-			if w[id] == Disabled {
-				continue
-			}
-			dv := t.Dist[csr.OutTo[i]]
-			if dv != unreachable && dv+int64(w[id]) == du {
-				t.Next[u] = append(t.Next[u], id)
+		newStart[u] = int32(len(newArcs))
+		if du := t.Dist[u]; du != unreachable {
+			lo, hi := csr.OutStart[u], csr.OutStart[u+1]
+			for i := lo; i < hi; i++ {
+				id := csr.OutArcs[i]
+				if w[id] == Disabled {
+					continue
+				}
+				dv := t.Dist[csr.OutTo[i]]
+				if dv != unreachable && dv+int64(w[id]) == du {
+					newArcs = append(newArcs, id)
+				}
 			}
 		}
+		u++
 	}
+	newStart[n] = int32(len(newArcs))
+	s.newStart = oldStart
+	s.newArcs = oldArcs
+	t.NextStart = newStart
+	t.NextArcs = newArcs
 
 	for _, a := range changed {
 		s.arcChanged[a] = false
@@ -128,12 +164,14 @@ func (c *Computer) TreeIncrease(w Weights, t *Tree, changed []graph.EdgeID) {
 
 // resettleAffected runs the boundary Dijkstra: affected nodes are seeded
 // from their surviving arcs into unaffected territory, then settle among
-// themselves; everything else keeps its distance. Afterwards the canonical
+// themselves; everything else keeps its distance. The seed distances span
+// the whole distance range (not one arc weight), so this path always uses
+// the indexed heap rather than the bucket ring. Afterwards the canonical
 // Order is rebuilt by merging the surviving (still sorted) run with the
 // re-settled nodes.
 func (c *Computer) resettleAffected(w Weights, t *Tree, s *increaseScratch) {
 	csr := c.csr
-	h := &c.heap
+	h := &c.hp
 	h.reset()
 	for _, f := range s.fList {
 		t.Dist[f] = unreachable
@@ -162,9 +200,6 @@ func (c *Computer) resettleAffected(w Weights, t *Tree, s *increaseScratch) {
 	s.settled = s.settled[:0]
 	for h.len() > 0 {
 		u, du := h.pop()
-		if du > t.Dist[u] {
-			continue // stale entry
-		}
 		s.settled = append(s.settled, u)
 		lo, hi := csr.InStart[u], csr.InStart[u+1]
 		for i := lo; i < hi; i++ {
@@ -183,7 +218,7 @@ func (c *Computer) resettleAffected(w Weights, t *Tree, s *increaseScratch) {
 		}
 	}
 
-	// Canonicalize the settled run by (Dist, ID); Dijkstra pop order already
+	// Canonicalize the settled run by (Dist, ID); heap pop order already
 	// ascends in distance, so insertion sort only reorders within ties.
 	for i := 1; i < len(s.settled); i++ {
 		u := s.settled[i]

@@ -47,28 +47,17 @@ func TestTreeIncreaseDirect(t *testing.T) {
 			if len(changed) == 0 {
 				continue
 			}
-			got := Tree{
-				Dest:  base.Dest,
-				Dist:  append([]int64(nil), base.Dist...),
-				Next:  make([][]graph.EdgeID, len(base.Next)),
-				Order: append([]graph.NodeID(nil), base.Order...),
-			}
-			for u := range base.Next {
-				got.Next[u] = append([]graph.EdgeID(nil), base.Next[u]...)
-			}
+			got := cloneTree(&base)
 			c.TreeIncrease(w2, &got, changed)
 			var want Tree
 			c.Tree(graph.NodeID(dest), w2, &want)
 			if !reflect.DeepEqual(got.Dist, want.Dist) {
 				t.Fatalf("seed %d dest %d: Dist mismatch\nchanged %v (w %v -> %v)\ngot  %v\nwant %v\nbase %v", seed, dest, changed, pick(w, changed), pick(w2, changed), got.Dist, want.Dist, base.Dist)
 			}
-			for u := range want.Next {
-				gu, wu := got.Next[u], want.Next[u]
-				if len(gu) == 0 && len(wu) == 0 {
-					continue
-				}
-				if !reflect.DeepEqual(gu, wu) {
-					t.Fatalf("seed %d dest %d: Next[%d] = %v, want %v", seed, dest, u, gu, wu)
+			for u := 0; u < g.NumNodes(); u++ {
+				gu, wu := got.Next(graph.NodeID(u)), want.Next(graph.NodeID(u))
+				if !equalArcs(gu, wu) {
+					t.Fatalf("seed %d dest %d: Next(%d) = %v, want %v", seed, dest, u, gu, wu)
 				}
 			}
 			if !reflect.DeepEqual(got.Order, want.Order) {
@@ -84,6 +73,30 @@ func pick(w Weights, arcs []graph.EdgeID) []int {
 		out[i] = w[a]
 	}
 	return out
+}
+
+// cloneTree deep-copies a tree's flat storage.
+func cloneTree(t *Tree) Tree {
+	return Tree{
+		Dest:      t.Dest,
+		Dist:      append([]int64(nil), t.Dist...),
+		Order:     append([]graph.NodeID(nil), t.Order...),
+		NextStart: append([]int32(nil), t.NextStart...),
+		NextArcs:  append([]graph.EdgeID(nil), t.NextArcs...),
+	}
+}
+
+// equalArcs compares two arc runs element-wise (nil and empty are equal).
+func equalArcs(a, b []graph.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestTreeIncreaseChained applies sequences of pure increases through the
@@ -133,12 +146,9 @@ func TestTreeIncreaseChained(t *testing.T) {
 				if !reflect.DeepEqual(got.Dist, want.Dist) {
 					t.Fatalf("seed %d dest %d step %d: Dist\ngot  %v\nwant %v", seed, dest, step, got.Dist, want.Dist)
 				}
-				for u := range want.Next {
-					if len(got.Next[u]) == 0 && len(want.Next[u]) == 0 {
-						continue
-					}
-					if !reflect.DeepEqual(got.Next[u], want.Next[u]) {
-						t.Fatalf("seed %d dest %d step %d: Next[%d] = %v, want %v", seed, dest, step, u, got.Next[u], want.Next[u])
+				for u := 0; u < g.NumNodes(); u++ {
+					if !equalArcs(got.Next(graph.NodeID(u)), want.Next(graph.NodeID(u))) {
+						t.Fatalf("seed %d dest %d step %d: Next(%d) = %v, want %v", seed, dest, step, u, got.Next(graph.NodeID(u)), want.Next(graph.NodeID(u)))
 					}
 				}
 				if !reflect.DeepEqual(got.Order, want.Order) {

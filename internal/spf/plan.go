@@ -1,6 +1,9 @@
 package spf
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"dualtopo/internal/graph"
 	"dualtopo/internal/traffic"
 )
@@ -9,7 +12,8 @@ import (
 // (one SPF tree set), retaining per-destination trees for delay queries.
 // This is the evaluation core for both STR (two classes, one topology) and
 // each DTR class (one class per topology). A MultiPlan reuses all buffers
-// across Route calls and is not safe for concurrent use.
+// across Route calls and is not safe for concurrent use (Route orchestrates
+// its own internal workers when configured; see SetWorkers).
 type MultiPlan struct {
 	g     *graph.Graph
 	comp  *Computer
@@ -23,6 +27,13 @@ type MultiPlan struct {
 	demandBuf   []float64
 	destScratch []float64 // per-destination load staging buffer
 	xiBuf       []float64
+
+	tmsBuf []*traffic.Matrix // Route's copy of the variadic matrix list
+
+	// workers bounds the SPF worker pool Route shards destinations across;
+	// <= 1 keeps the sequential path. Parallel state is built lazily.
+	workers int
+	par     *parRoute
 }
 
 // NewMultiPlan prepares routing state for the union of destinations active
@@ -57,8 +68,11 @@ func NewMultiPlan(g *graph.Graph, tms ...*traffic.Matrix) *MultiPlan {
 // CloneState returns an independent MultiPlan for the same instance, sharing
 // only the immutable destination index (dests, byID). Fresh trees, loads and
 // buffers are allocated, so the clone can route concurrently with the
-// original. This is what evaluator pools use: the O(n²) active-destination
-// scan happens once, not once per worker.
+// original. The clone always starts sequential (workers = 1): clones back
+// evaluator pools whose goroutines are already the parallelism, so nesting
+// SPF workers under them would only oversubscribe. This is what evaluator
+// pools use: the O(n²) active-destination scan happens once, not once per
+// worker.
 func (p *MultiPlan) CloneState() *MultiPlan {
 	c := &MultiPlan{
 		g:     p.g,
@@ -75,6 +89,13 @@ func (p *MultiPlan) CloneState() *MultiPlan {
 	return c
 }
 
+// SetWorkers bounds the SPF worker pool Route shards destinations across.
+// n <= 1 restores the sequential path. Parallel and sequential routing are
+// bitwise-identical: workers only compute per-destination contributions,
+// which a single ordered reduction then folds exactly as the sequential
+// loop would.
+func (p *MultiPlan) SetWorkers(n int) { p.workers = n }
+
 // Destinations returns the active destination union.
 func (p *MultiPlan) Destinations() []graph.NodeID { return p.dests }
 
@@ -83,21 +104,27 @@ func (p *MultiPlan) Destinations() []graph.NodeID { return p.dests }
 //
 // Aggregation is grouped per destination: each destination's contribution is
 // routed into a zeroed staging buffer and then folded into the aggregate,
-// skipping zero entries. DeltaRouter reproduces exactly this floating-point
-// summation sequence when it re-aggregates only the arcs a weight change
-// touched, which is what makes incremental and full evaluation bitwise
-// equal.
+// skipping zero entries. Because every arc receives at most one addition per
+// destination and destinations fold in ascending index order, the parallel
+// path (SetWorkers > 1) and the incremental DeltaRouter both reproduce this
+// exact floating-point summation sequence — which is what makes all three
+// engines bitwise-equal.
 func (p *MultiPlan) Route(w Weights, tms ...*traffic.Matrix) error {
-	for i := range tms {
+	p.tmsBuf = append(p.tmsBuf[:0], tms...)
+	if p.workers > 1 && len(p.dests) > 1 {
+		return p.routeParallel(w)
+	}
+	for i := range p.tmsBuf {
 		loads := p.Loads[i]
 		for j := range loads {
 			loads[j] = 0
 		}
 	}
+	maxW := p.comp.maxWFor(w) // one scan per weight setting, not per destination
 	for di, dest := range p.dests {
 		t := &p.trees[di]
-		p.comp.Tree(dest, w, t)
-		for mi, tm := range tms {
+		p.comp.tree(dest, w, t, maxW)
+		for mi, tm := range p.tmsBuf {
 			p.demandBuf = tm.DemandsTo(dest, p.demandBuf)
 			any := false
 			for _, d := range p.demandBuf {
@@ -123,6 +150,158 @@ func (p *MultiPlan) Route(w Weights, tms ...*traffic.Matrix) error {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// parRoute is MultiPlan's parallel full-route state: per-worker computers
+// and staging buffers, per-destination support lists (arc IDs plus values),
+// and the pre-built worker closures the spawn loop reuses so a warm
+// parallel Route performs no closure allocations.
+type parRoute struct {
+	p          *MultiPlan
+	comps      []*Computer
+	scratch    [][]float64 // per worker, dense per-arc staging (kept zeroed)
+	demandBufs [][]float64 // per worker
+	fns        []func()
+
+	// supArcs/supVals[di][mi] hold destination di's contribution to matrix
+	// mi as a compacted support list, the input of the ordered reduction.
+	supArcs [][][]graph.EdgeID
+	supVals [][][]float64
+	errs    []error // per destination, for deterministic error selection
+
+	w    Weights
+	maxW int // bucket-width selector, computed once per Route
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// ensurePar sizes the parallel state for the current worker count and
+// matrix count, building it lazily so sequential users pay nothing.
+func (p *MultiPlan) ensurePar(nmat int) *parRoute {
+	pr := p.par
+	if pr == nil {
+		pr = &parRoute{p: p}
+		p.par = pr
+	}
+	nw := p.workers
+	if nw > len(p.dests) {
+		nw = len(p.dests)
+	}
+	for len(pr.comps) < nw {
+		wk := len(pr.comps)
+		pr.comps = append(pr.comps, NewComputer(p.g))
+		pr.scratch = append(pr.scratch, make([]float64, p.g.NumEdges()))
+		pr.demandBufs = append(pr.demandBufs, make([]float64, p.g.NumNodes()))
+		pr.fns = append(pr.fns, func() { pr.worker(wk) })
+	}
+	if pr.supArcs == nil {
+		pr.supArcs = make([][][]graph.EdgeID, len(p.dests))
+		pr.supVals = make([][][]float64, len(p.dests))
+		pr.errs = make([]error, len(p.dests))
+	}
+	for di := range pr.supArcs {
+		for len(pr.supArcs[di]) < nmat {
+			pr.supArcs[di] = append(pr.supArcs[di], nil)
+			pr.supVals[di] = append(pr.supVals[di], nil)
+		}
+	}
+	return pr
+}
+
+// routeParallel shards the destinations of the Route call across the worker
+// pool, then folds the per-destination support lists into the aggregate
+// loads in ascending destination order — the sequential path's exact
+// floating-point summation sequence.
+func (p *MultiPlan) routeParallel(w Weights) error {
+	pr := p.ensurePar(len(p.tmsBuf))
+	pr.w = w
+	pr.maxW = maxWeight(w)
+	nw := p.workers
+	if nw > len(p.dests) {
+		nw = len(p.dests)
+	}
+	pr.next.Store(0)
+	pr.wg.Add(nw)
+	for i := 0; i < nw; i++ {
+		go pr.fns[i]()
+	}
+	pr.wg.Wait()
+	for di := range p.dests {
+		if err := pr.errs[di]; err != nil {
+			return err
+		}
+	}
+	for mi := range p.tmsBuf {
+		loads := p.Loads[mi]
+		for a := range loads {
+			loads[a] = 0
+		}
+		for di := range p.dests {
+			arcs := pr.supArcs[di][mi]
+			vals := pr.supVals[di][mi]
+			for k, a := range arcs {
+				loads[a] += vals[k]
+			}
+		}
+	}
+	return nil
+}
+
+// worker claims destinations off the shared counter until none remain. Any
+// claim order yields the same result: workers only fill per-destination
+// slots, and the reduction replays them in destination order.
+func (pr *parRoute) worker(wk int) {
+	defer pr.wg.Done()
+	nd := len(pr.p.dests)
+	for {
+		di := int(pr.next.Add(1)) - 1
+		if di >= nd {
+			return
+		}
+		pr.errs[di] = pr.routeDest(wk, di)
+	}
+}
+
+// routeDest computes one destination's tree and compacts its per-matrix
+// load contributions into support lists, restoring the worker's dense
+// staging buffer to all-zeros afterwards.
+func (pr *parRoute) routeDest(wk, di int) error {
+	p := pr.p
+	dest := p.dests[di]
+	comp := pr.comps[wk]
+	comp.tree(dest, pr.w, &p.trees[di], pr.maxW)
+	scratch := pr.scratch[wk]
+	for mi, tm := range p.tmsBuf {
+		pr.demandBufs[wk] = tm.DemandsTo(dest, pr.demandBufs[wk])
+		demand := pr.demandBufs[wk]
+		any := false
+		for _, d := range demand {
+			if d != 0 {
+				any = true
+				break
+			}
+		}
+		sup := pr.supArcs[di][mi][:0]
+		vals := pr.supVals[di][mi][:0]
+		if any {
+			var err error
+			// AddLoads validates reachability before writing any load, so on
+			// error the staging buffer is still zero and needs no repair.
+			sup, err = comp.addLoadsTracked(&p.trees[di], demand, scratch, sup)
+			if err != nil {
+				pr.supArcs[di][mi] = sup[:0]
+				pr.supVals[di][mi] = vals
+				return err
+			}
+			for _, a := range sup {
+				vals = append(vals, scratch[a])
+				scratch[a] = 0
+			}
+		}
+		pr.supArcs[di][mi] = sup
+		pr.supVals[di][mi] = vals
 	}
 	return nil
 }
@@ -170,6 +349,10 @@ func (p *Plan) CloneState() *Plan {
 	mp := p.mp.CloneState()
 	return &Plan{mp: mp, Loads: mp.Loads[0]}
 }
+
+// SetWorkers bounds the SPF worker pool used by Route; see
+// MultiPlan.SetWorkers.
+func (p *Plan) SetWorkers(n int) { p.mp.SetWorkers(n) }
 
 // Destinations returns the active destination set.
 func (p *Plan) Destinations() []graph.NodeID { return p.mp.Destinations() }

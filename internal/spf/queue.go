@@ -1,0 +1,183 @@
+package spf
+
+import "dualtopo/internal/graph"
+
+// Priority queues backing the SPF core. Two implementations share the same
+// monotone contract (pop order never decreases, lazy or indexed staleness
+// handling):
+//
+//   - bucketQueue is Dial's monotone bucket queue, the default for the
+//     paper's bounded OSPF-style weight range: O(1) push/pop plus a bounded
+//     bucket scan, no comparisons, no sifting.
+//   - heap4 is an indexed 4-ary min-heap with decrease-key, the fallback
+//     when the weight range is too wide for buckets (and the engine behind
+//     the boundary Dijkstra of TreeIncrease, whose seed distances span the
+//     whole distance range rather than one arc weight).
+//
+// Both yield the same distance vector, and Tree canonicalizes Order and
+// rebuilds the ECMP DAG from distances alone, so the tree produced is
+// bitwise-identical whichever queue ran — a property the equivalence tests
+// assert directly.
+
+// maxBucketWeight is the largest maximum arc weight for which Tree uses the
+// bucket queue. Beyond it the empty-bucket scan (bounded by max distance ≈
+// diameter × wmax) could dominate, so Tree falls back to the indexed heap.
+// The paper's weight range is [1, 30]; typical OSPF deployments stay far
+// below this limit.
+const maxBucketWeight = 1024
+
+// bucketQueue is a monotone (Dial) bucket queue over integer distances.
+// Entries are lazy: a node may be queued at several distances; callers skip
+// pops whose distance exceeds the node's settled distance. Correctness of
+// the ring indexing relies on monotonicity: every queued distance lies in
+// [cur, cur+maxW], so a ring of power-of-two width > maxW never aliases two
+// live distances to one bucket.
+type bucketQueue struct {
+	buckets [][]graph.NodeID
+	mask    int64 // len(buckets)-1, buckets length is a power of two
+	cur     int64 // distance currently being drained
+	count   int   // live entries across all buckets
+}
+
+// reset prepares the queue for a run whose arc weights are at most width-1,
+// growing the ring to the next power of two ≥ width. All buckets are empty
+// between runs (pop removes entries before the staleness check).
+func (q *bucketQueue) reset(width int) {
+	size := 1
+	for size < width {
+		size <<= 1
+	}
+	if size > len(q.buckets) {
+		q.buckets = append(q.buckets, make([][]graph.NodeID, size-len(q.buckets))...)
+	}
+	q.mask = int64(size) - 1
+	q.cur = 0
+	q.count = 0
+}
+
+func (q *bucketQueue) push(u graph.NodeID, d int64) {
+	i := d & q.mask
+	q.buckets[i] = append(q.buckets[i], u)
+	q.count++
+}
+
+// pop returns an entry with the minimum queued distance. Monotonicity makes
+// the distance simply q.cur: every entry in the bucket q.cur indexes has
+// distance exactly q.cur (smaller ones were drained when cur passed them,
+// larger ones live in other buckets).
+func (q *bucketQueue) pop() (graph.NodeID, int64) {
+	i := q.cur & q.mask
+	for len(q.buckets[i]) == 0 {
+		q.cur++
+		i = q.cur & q.mask
+	}
+	b := q.buckets[i]
+	u := b[len(b)-1]
+	q.buckets[i] = b[:len(b)-1]
+	q.count--
+	return u, q.cur
+}
+
+// heap4 is an indexed 4-ary min-heap keyed on int64 distances with
+// decrease-key: each node appears at most once, so the heap never exceeds
+// the node count and pops need no staleness filtering. 4-ary keeps the
+// sift depth half of a binary heap's with all children in one cache line.
+type heap4 struct {
+	nodes []graph.NodeID
+	dists []int64
+	pos   []int32 // node -> heap index + 1; 0 when absent
+}
+
+// ensure sizes the position index for n nodes.
+func (h *heap4) ensure(n int) {
+	if len(h.pos) < n {
+		h.pos = make([]int32, n)
+	}
+}
+
+// reset empties the heap. The position index is already clean when the
+// previous run drained the heap; the loop covers abandoned runs.
+func (h *heap4) reset() {
+	for _, u := range h.nodes {
+		h.pos[u] = 0
+	}
+	h.nodes = h.nodes[:0]
+	h.dists = h.dists[:0]
+}
+
+func (h *heap4) len() int { return len(h.nodes) }
+
+// push inserts u at distance d, or decreases u's key when it is already
+// queued with a larger one.
+func (h *heap4) push(u graph.NodeID, d int64) {
+	if i := h.pos[u]; i != 0 {
+		if d < h.dists[i-1] {
+			h.dists[i-1] = d
+			h.up(int(i) - 1)
+		}
+		return
+	}
+	h.nodes = append(h.nodes, u)
+	h.dists = append(h.dists, d)
+	h.pos[u] = int32(len(h.nodes))
+	h.up(len(h.nodes) - 1)
+}
+
+func (h *heap4) pop() (graph.NodeID, int64) {
+	u, d := h.nodes[0], h.dists[0]
+	h.pos[u] = 0
+	last := len(h.nodes) - 1
+	if last > 0 {
+		h.nodes[0], h.dists[0] = h.nodes[last], h.dists[last]
+		h.pos[h.nodes[0]] = 1
+	}
+	h.nodes = h.nodes[:last]
+	h.dists = h.dists[:last]
+	if last > 1 {
+		h.down(0)
+	}
+	return u, d
+}
+
+func (h *heap4) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if h.dists[parent] <= h.dists[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heap4) down(i int) {
+	n := len(h.nodes)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		smallest := i
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first; c < end; c++ {
+			if h.dists[c] < h.dists[smallest] {
+				smallest = c
+			}
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *heap4) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
+	h.pos[h.nodes[i]] = int32(i + 1)
+	h.pos[h.nodes[j]] = int32(j + 1)
+}

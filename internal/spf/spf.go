@@ -55,6 +55,18 @@ func (w Weights) Validate(g *graph.Graph) error {
 	return nil
 }
 
+// maxWeight returns the largest non-Disabled weight in w (0 when every arc
+// is disabled) — the bucket-queue width selector.
+func maxWeight(w Weights) int {
+	max := 0
+	for _, x := range w {
+		if x != Disabled && x > max {
+			max = x
+		}
+	}
+	return max
+}
+
 // unreachable marks nodes with no path to the destination.
 const unreachable = math.MaxInt64
 
@@ -63,16 +75,39 @@ const unreachable = math.MaxInt64
 // Dest), and the nodes in increasing-distance order. A Tree is filled by
 // Computer.Tree and remains valid until its next reuse.
 //
+// The ECMP DAG is stored flat in CSR form: the arcs leaving u on shortest
+// paths are NextArcs[NextStart[u]:NextStart[u+1]], in ascending arc ID.
+// Compared to a slice-of-slices this removes a pointer chase per node from
+// every load-aggregation and delay pass and lets Computer.Tree reuse two
+// flat buffers instead of n slice headers, making steady-state routing
+// allocation-free.
+//
 // Order is canonical: reachable nodes sorted by (Dist, node ID). This makes
 // a Tree — and every load vector aggregated over it — a pure function of
-// (graph, weights, destination), independent of Dijkstra's tie-breaking
-// history. The incremental DeltaRouter relies on this to keep untouched
-// trees bitwise-identical to a from-scratch recomputation.
+// (graph, weights, destination), independent of the priority queue's
+// tie-breaking history. The incremental DeltaRouter relies on this to keep
+// untouched trees bitwise-identical to a from-scratch recomputation.
 type Tree struct {
 	Dest  graph.NodeID
-	Dist  []int64          // Dist[u]: shortest weighted distance u -> Dest
-	Next  [][]graph.EdgeID // Next[u]: arcs (u,v) with w(u,v)+Dist[v] == Dist[u]
-	Order []graph.NodeID   // reachable nodes sorted by increasing (Dist, ID), Dest first
+	Dist  []int64        // Dist[u]: shortest weighted distance u -> Dest
+	Order []graph.NodeID // reachable nodes sorted by increasing (Dist, ID), Dest first
+
+	// NextStart/NextArcs are the flat ECMP DAG: NextStart is an n+1 offset
+	// array into NextArcs, which lists arcs (u,v) with w(u,v)+Dist[v] ==
+	// Dist[u] grouped by u in ascending arc ID.
+	NextStart []int32
+	NextArcs  []graph.EdgeID
+}
+
+// Next returns the ECMP arcs leaving u toward Dest. Callers must not modify
+// the returned slice; it aliases the tree's flat storage.
+func (t *Tree) Next(u graph.NodeID) []graph.EdgeID {
+	return t.NextArcs[t.NextStart[u]:t.NextStart[u+1]]
+}
+
+// NextLen reports the number of ECMP arcs leaving u toward Dest.
+func (t *Tree) NextLen(u graph.NodeID) int {
+	return int(t.NextStart[u+1] - t.NextStart[u])
 }
 
 // Reaches reports whether u has a path to the destination.
@@ -80,8 +115,9 @@ func (t *Tree) Reaches(u graph.NodeID) bool { return t.Dist[u] != unreachable }
 
 // NextHops returns the ECMP next-hop nodes of u toward Dest.
 func (t *Tree) NextHops(g *graph.Graph, u graph.NodeID) []graph.NodeID {
-	hops := make([]graph.NodeID, 0, len(t.Next[u]))
-	for _, id := range t.Next[u] {
+	arcs := t.Next(u)
+	hops := make([]graph.NodeID, 0, len(arcs))
+	for _, id := range arcs {
 		hops = append(hops, g.Edge(id).To)
 	}
 	return hops
@@ -91,11 +127,15 @@ func (t *Tree) NextHops(g *graph.Graph, u graph.NodeID) []graph.NodeID {
 // reusing internal buffers. It is not safe for concurrent use; create one
 // Computer per goroutine.
 type Computer struct {
-	g    *graph.Graph
-	csr  *graph.CSR // flat adjacency snapshot, the traversal hot path
-	heap nodeHeap
-	flow []float64       // buffer for load aggregation
-	inc  increaseScratch // TreeIncrease buffers
+	g      *graph.Graph
+	csr    *graph.CSR // flat adjacency snapshot, the traversal hot path
+	bq     bucketQueue
+	hp     heap4
+	cursor []int32         // buildNext fill cursors, one per node
+	flow   []float64       // buffer for load aggregation
+	inc    increaseScratch // TreeIncrease buffers
+
+	forceHeap bool
 }
 
 // NewComputer returns a Computer for g. The graph's structure and arc
@@ -103,43 +143,81 @@ type Computer struct {
 // Computers over it.
 func NewComputer(g *graph.Graph) *Computer {
 	n := g.NumNodes()
-	return &Computer{
-		g:    g,
-		csr:  g.CSR(),
-		heap: newNodeHeap(n),
-		flow: make([]float64, n),
+	c := &Computer{
+		g:      g,
+		csr:    g.CSR(),
+		cursor: make([]int32, n),
+		flow:   make([]float64, n),
 	}
+	c.hp.ensure(n)
+	return c
 }
 
+// SetForceHeap forces the indexed-heap Dijkstra even when the weight range
+// is bucket-eligible. Benchmark/debug knob: both queues produce
+// bitwise-identical trees, so this only trades constants.
+func (c *Computer) SetForceHeap(v bool) { c.forceHeap = v }
+
 // Tree computes the shortest-path DAG toward dest under w, storing the
-// result in t (its slices are reused when large enough).
+// result in t (its flat buffers are reused when large enough, so a warm
+// tree is recomputed without allocating).
 func (c *Computer) Tree(dest graph.NodeID, w Weights, t *Tree) {
-	csr := c.csr
-	n := csr.NumNodes()
+	c.tree(dest, w, t, c.maxWFor(w))
+}
+
+// maxWFor returns the bucket-width selector for w: the maximum weight scan,
+// skipped entirely when the heap is pinned. All-destinations callers compute
+// it once per weight setting and pass it to tree, instead of rescanning w
+// per destination.
+func (c *Computer) maxWFor(w Weights) int {
+	if c.forceHeap {
+		return maxBucketWeight + 1 // any value past the limit routes to the heap
+	}
+	return maxWeight(w)
+}
+
+// tree is Tree with the bucket-width selector precomputed.
+func (c *Computer) tree(dest graph.NodeID, w Weights, t *Tree, maxW int) {
+	n := c.csr.NumNodes()
 	t.Dest = dest
 	if cap(t.Dist) < n {
 		t.Dist = make([]int64, n)
-		t.Next = make([][]graph.EdgeID, n)
-		t.Order = make([]graph.NodeID, 0, n)
 	}
 	t.Dist = t.Dist[:n]
-	t.Next = t.Next[:n]
+	if cap(t.Order) < n {
+		t.Order = make([]graph.NodeID, 0, n)
+	}
 	t.Order = t.Order[:0]
 	for u := range t.Dist {
 		t.Dist[u] = unreachable
-		t.Next[u] = t.Next[u][:0]
 	}
+	t.Dist[dest] = 0
 
 	// Dijkstra from dest over incoming arcs (reverse graph): Dist[u] is the
-	// distance from u to dest in the forward graph. The flat CSR run for
-	// node u replaces the per-node slice header chase and Edge struct loads.
-	h := &c.heap
-	h.reset()
-	t.Dist[dest] = 0
-	h.push(dest, 0)
-	for h.len() > 0 {
-		u, du := h.pop()
-		if du > t.Dist[u] {
+	// distance from u to dest in the forward graph. Bounded integer weights
+	// route through the bucket queue; wide ranges fall back to the heap.
+	if maxW <= maxBucketWeight {
+		c.dijkstraBucket(w, t, maxW)
+	} else {
+		c.dijkstraHeap(w, t)
+	}
+
+	canonicalizeOrder(t.Dist, t.Order)
+	c.buildNext(w, t)
+}
+
+// dijkstraBucket settles all distances through the monotone bucket queue.
+// Entries are lazy (a node can be queued at several distances), so pops
+// staler than the settled distance are skipped.
+func (c *Computer) dijkstraBucket(w Weights, t *Tree, maxW int) {
+	csr := c.csr
+	q := &c.bq
+	q.reset(maxW + 1)
+	q.push(t.Dest, 0)
+	dist := t.Dist
+	for q.count > 0 {
+		u, du := q.pop()
+		if du > dist[u] {
 			continue // stale entry
 		}
 		t.Order = append(t.Order, u)
@@ -151,43 +229,109 @@ func (c *Computer) Tree(dest graph.NodeID, w Weights, t *Tree) {
 			}
 			v := csr.InFrom[i]
 			alt := du + int64(w[id])
-			if alt < t.Dist[v] {
-				t.Dist[v] = alt
+			if alt < dist[v] {
+				dist[v] = alt
+				q.push(v, alt)
+			}
+		}
+	}
+}
+
+// dijkstraHeap is the wide-weight fallback over the indexed 4-ary heap.
+func (c *Computer) dijkstraHeap(w Weights, t *Tree) {
+	csr := c.csr
+	h := &c.hp
+	h.reset()
+	h.push(t.Dest, 0)
+	dist := t.Dist
+	for h.len() > 0 {
+		u, du := h.pop()
+		t.Order = append(t.Order, u)
+		lo, hi := csr.InStart[u], csr.InStart[u+1]
+		for i := lo; i < hi; i++ {
+			id := csr.InArcs[i]
+			if w[id] == Disabled {
+				continue
+			}
+			v := csr.InFrom[i]
+			alt := du + int64(w[id])
+			if alt < dist[v] {
+				dist[v] = alt
 				h.push(v, alt)
 			}
 		}
 	}
+}
 
-	// Canonicalize Order: Dijkstra emits nodes in increasing distance but
-	// breaks ties by heap history, which depends on the weights of arcs off
-	// the shortest paths. Sorting each equal-distance run by node ID makes
-	// the tree (and any load aggregation over it) a pure function of the
-	// inputs. Runs are typically tiny, so insertion sort per run is cheap
-	// and allocation-free.
-	order := t.Order
+// canonicalizeOrder sorts each equal-distance run of order by node ID. Any
+// correct Dijkstra emits nodes in non-decreasing distance but breaks ties
+// by queue history; sorting the ties makes the order — and every pass over
+// it — a pure function of the inputs. Runs are typically tiny, so insertion
+// sort per run is cheap and allocation-free.
+func canonicalizeOrder(dist []int64, order []graph.NodeID) {
 	for i := 1; i < len(order); i++ {
 		u := order[i]
-		du := t.Dist[u]
+		du := dist[u]
 		j := i
-		for j > 0 && t.Dist[order[j-1]] == du && order[j-1] > u {
+		for j > 0 && dist[order[j-1]] == du && order[j-1] > u {
 			order[j] = order[j-1]
 			j--
 		}
 		order[j] = u
 	}
+}
 
-	// ECMP DAG: arc (u,v) is on a shortest path iff w + Dist[v] == Dist[u].
-	// Arc-ID iteration order makes every Next list deterministic.
-	for id := 0; id < len(w); id++ {
+// buildNext fills the flat ECMP DAG: arc (u,v) is on a shortest path iff
+// w + Dist[v] == Dist[u]. A counting pass sizes the per-node runs, then a
+// fill pass places arcs in ascending arc-ID order — the same deterministic
+// per-node order the adjacency lists carry.
+func (c *Computer) buildNext(w Weights, t *Tree) {
+	csr := c.csr
+	n := csr.NumNodes()
+	if cap(t.NextStart) < n+1 {
+		t.NextStart = make([]int32, n+1)
+	}
+	t.NextStart = t.NextStart[:n+1]
+	start := t.NextStart
+	for i := range start {
+		start[i] = 0
+	}
+	dist := t.Dist
+	for id := range w {
 		if w[id] == Disabled {
 			continue
 		}
-		dv := t.Dist[csr.To[id]]
+		dv := dist[csr.To[id]]
 		if dv == unreachable {
 			continue
 		}
-		if from := csr.From[id]; dv+int64(w[id]) == t.Dist[from] {
-			t.Next[from] = append(t.Next[from], graph.EdgeID(id))
+		if from := csr.From[id]; dv+int64(w[id]) == dist[from] {
+			start[from+1]++
+		}
+	}
+	for u := 0; u < n; u++ {
+		start[u+1] += start[u]
+	}
+	total := int(start[n])
+	if cap(t.NextArcs) < total {
+		// Grow straight to the arc count: no tree's DAG can exceed it, so
+		// this buffer never reallocates again.
+		t.NextArcs = make([]graph.EdgeID, total, len(w))
+	}
+	t.NextArcs = t.NextArcs[:total]
+	cur := c.cursor[:n]
+	copy(cur, start[:n])
+	for id := range w {
+		if w[id] == Disabled {
+			continue
+		}
+		dv := dist[csr.To[id]]
+		if dv == unreachable {
+			continue
+		}
+		if from := csr.From[id]; dv+int64(w[id]) == dist[from] {
+			t.NextArcs[cur[from]] = graph.EdgeID(id)
+			cur[from]++
 		}
 	}
 }
@@ -222,13 +366,53 @@ func (c *Computer) AddLoads(t *Tree, demand []float64, loads []float64) error {
 		if f == 0 || u == t.Dest {
 			continue
 		}
-		share := f / float64(len(t.Next[u]))
-		for _, id := range t.Next[u] {
+		arcs := t.Next(u)
+		share := f / float64(len(arcs))
+		for _, id := range arcs {
 			loads[id] += share
 			flow[to[id]] += share
 		}
 	}
 	return nil
+}
+
+// addLoadsTracked is AddLoads with support tracking: it performs the
+// identical floating-point accumulation into pd (which must be zeroed)
+// while appending each arc that becomes loaded to sup. Keeping it
+// instruction-identical to AddLoads is what preserves bitwise equality
+// between the incremental, parallel and sequential routing paths.
+func (c *Computer) addLoadsTracked(t *Tree, demand, pd []float64, sup []graph.EdgeID) ([]graph.EdgeID, error) {
+	flow := c.flow
+	for i := range flow {
+		flow[i] = 0
+	}
+	for u, d := range demand {
+		if d == 0 {
+			continue
+		}
+		if !t.Reaches(graph.NodeID(u)) {
+			return sup, fmt.Errorf("spf: node %d has demand %g but no path to %d", u, d, t.Dest)
+		}
+		flow[u] = d
+	}
+	to := c.csr.To
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		f := flow[u]
+		if f == 0 || u == t.Dest {
+			continue
+		}
+		arcs := t.Next(u)
+		share := f / float64(len(arcs))
+		for _, id := range arcs {
+			if pd[id] == 0 {
+				sup = append(sup, id)
+			}
+			pd[id] += share
+			flow[to[id]] += share
+		}
+	}
+	return sup, nil
 }
 
 // Delays fills xi with the expected end-to-end delay from every node to
@@ -253,72 +437,12 @@ func (t *Tree) Delays(g *graph.Graph, arcDelay []float64, xi []float64) []float6
 		if u == t.Dest {
 			continue
 		}
+		arcs := t.Next(u)
 		sum := 0.0
-		for _, id := range t.Next[u] {
+		for _, id := range arcs {
 			sum += arcDelay[id] + xi[g.Edge(id).To]
 		}
-		xi[u] = sum / float64(len(t.Next[u]))
+		xi[u] = sum / float64(len(arcs))
 	}
 	return xi
-}
-
-// nodeHeap is a lazy-deletion binary min-heap of (node, dist) entries.
-type nodeHeap struct {
-	nodes []graph.NodeID
-	dists []int64
-}
-
-func newNodeHeap(n int) nodeHeap {
-	return nodeHeap{nodes: make([]graph.NodeID, 0, n), dists: make([]int64, 0, n)}
-}
-
-func (h *nodeHeap) reset() {
-	h.nodes = h.nodes[:0]
-	h.dists = h.dists[:0]
-}
-
-func (h *nodeHeap) len() int { return len(h.nodes) }
-
-func (h *nodeHeap) push(u graph.NodeID, d int64) {
-	h.nodes = append(h.nodes, u)
-	h.dists = append(h.dists, d)
-	i := len(h.nodes) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.dists[parent] <= h.dists[i] {
-			break
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-func (h *nodeHeap) pop() (graph.NodeID, int64) {
-	u, d := h.nodes[0], h.dists[0]
-	last := len(h.nodes) - 1
-	h.nodes[0], h.dists[0] = h.nodes[last], h.dists[last]
-	h.nodes = h.nodes[:last]
-	h.dists = h.dists[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && h.dists[l] < h.dists[smallest] {
-			smallest = l
-		}
-		if r < last && h.dists[r] < h.dists[smallest] {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		h.swap(i, smallest)
-		i = smallest
-	}
-	return u, d
-}
-
-func (h *nodeHeap) swap(i, j int) {
-	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
-	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
 }

@@ -77,8 +77,8 @@ func TestTreeLineDistances(t *testing.T) {
 	if len(hops) != 1 || hops[0] != 1 {
 		t.Fatalf("NextHops(0) = %v, want [1]", hops)
 	}
-	if len(tr.Next[3]) != 0 {
-		t.Fatalf("destination has next hops: %v", tr.Next[3])
+	if tr.NextLen(3) != 0 {
+		t.Fatalf("destination has next hops: %v", tr.Next(3))
 	}
 }
 
