@@ -1,0 +1,60 @@
+// Command benchgate compares a freshly generated dtrbench report against
+// the committed baseline and fails (exit 1) on performance regressions:
+//
+//   - any benchmark series present in the baseline but missing from the
+//     current report;
+//   - any allocs/op increase on a series the baseline holds at zero allocs
+//     (allocation counts are deterministic, so this gate applies on every
+//     machine);
+//   - any ns/op regression beyond -max-regress (default 25%), checked only
+//     when both reports ran at the same GOMAXPROCS — cross-shape timings
+//     are not comparable, and the gate says so instead of guessing.
+//
+// Usage:
+//
+//	go run ./cmd/dtrbench -o bench_new.json
+//	go run ./cmd/benchgate -baseline BENCH_PR4.json -current bench_new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dualtopo/internal/benchrep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	baseline := flag.String("baseline", "BENCH_PR4.json", "committed baseline report")
+	current := flag.String("current", "", "freshly generated report to gate")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	flag.Parse()
+	if *current == "" {
+		log.Fatal("missing -current report")
+	}
+
+	base, err := benchrep.LoadFile(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := benchrep.LoadFile(*current)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := benchrep.Compare(base, cur, *maxRegress)
+	if res.TimingSkipped {
+		fmt.Printf("note: ns/op comparison skipped (baseline GOMAXPROCS=%d, current=%d); alloc gate still applies\n",
+			base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	for _, f := range res.Findings {
+		fmt.Printf("FAIL %s\n", f)
+	}
+	if !res.Pass() {
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d baseline series gated against %s\n", len(base.Benchmarks), *current)
+}

@@ -21,27 +21,15 @@ import (
 
 	"dualtopo"
 	"dualtopo/internal/benchkit"
+	"dualtopo/internal/benchrep"
 )
 
-// Report is the file-level JSON document.
-type Report struct {
-	Generated  string  `json:"generated"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Benchmarks []Entry `json:"benchmarks"`
-}
-
-// Entry is one benchmark's outcome.
-type Entry struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
+// The report schema lives in internal/benchrep, shared with the
+// cmd/benchgate regression gate.
+type (
+	Report = benchrep.Report
+	Entry  = benchrep.Entry
+)
 
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable

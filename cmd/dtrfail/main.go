@@ -35,13 +35,14 @@ import (
 	"dualtopo/internal/scenario"
 	"dualtopo/internal/search"
 	"dualtopo/internal/stats"
+	"dualtopo/internal/topo"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dtrfail: ")
 
-	topology := flag.String("topology", "random", "topology family: random|powerlaw|isp")
+	topology := flag.String("topology", "random", "topology family: "+topo.FamilyList())
 	nodes := flag.Int("nodes", 0, "synthetic topology nodes (0 = paper's 30)")
 	links := flag.Int("links", 0, "synthetic topology links (0 = paper default)")
 	load := flag.Float64("load", 0.6, "target average link utilization")

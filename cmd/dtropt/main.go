@@ -25,6 +25,7 @@ import (
 	"dualtopo/internal/graph"
 	"dualtopo/internal/search"
 	"dualtopo/internal/spf"
+	"dualtopo/internal/topo"
 	"dualtopo/internal/traffic"
 )
 
@@ -32,9 +33,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dtropt: ")
 	var (
-		topoName  = flag.String("topo", "random", "topology: random|powerlaw|isp")
+		topoName  = flag.String("topo", "random", "topology: "+topo.FamilyList())
 		graphFile = flag.String("graph", "", "JSON topology file (overrides -topo)")
-		nodes     = flag.Int("nodes", 30, "node count (generated topologies)")
+		nodes     = flag.Int("nodes", 0, "node count (0 = family default; structurally sized families derive it)")
 		links     = flag.Int("links", 0, "bidirectional link count (0 = paper default)")
 		kind      = flag.String("kind", "load", "objective: load|sla")
 		theta     = flag.Float64("theta", 25, "SLA delay bound in ms")

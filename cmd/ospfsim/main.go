@@ -18,14 +18,15 @@ import (
 	"dualtopo"
 	"dualtopo/internal/experiments"
 	"dualtopo/internal/search"
+	"dualtopo/internal/topo"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ospfsim: ")
 	var (
-		topoName = flag.String("topo", "isp", "topology: random|powerlaw|isp")
-		nodes    = flag.Int("nodes", 16, "node count (generated topologies)")
+		topoName = flag.String("topo", "isp", "topology: "+topo.FamilyList())
+		nodes    = flag.Int("nodes", 0, "node count (0 = family default; structurally sized families derive it)")
 		links    = flag.Int("links", 0, "bidirectional links (0 = paper default)")
 		flows    = flag.Int("flows", 3, "sample flows to trace")
 		seed     = flag.Uint64("seed", 7, "random seed")

@@ -105,6 +105,32 @@ func AssignUniformDelays(g *Graph, minMs, maxMs float64, rng *rand.Rand) {
 	topo.AssignUniformDelays(g, minMs, maxMs, rng)
 }
 
+// Generator registry: every topology family (the three above plus Waxman
+// geometric graphs, ring/grid/torus lattices, two-tier hierarchical ISPs
+// and GML/adjacency-list imports) is reachable by name with a validated,
+// JSON-serializable parameter set.
+
+// TopologyParams parameterizes a registered topology family; zero fields
+// resolve to the family's defaults.
+type TopologyParams = topo.Params
+
+// TopologyFamilies lists every registered topology family name.
+func TopologyFamilies() []string { return topo.Families() }
+
+// GenerateTopology builds a strongly connected topology from any registered
+// family, validating p against the family's rules.
+func GenerateTopology(family string, p TopologyParams, rng *rand.Rand) (*Graph, error) {
+	return topo.Generate(family, p, rng)
+}
+
+// ImportTopology reads a real-world topology from a GML or adjacency-list
+// file, applying p's capacity and delay settings (unset fields resolve to
+// the import family's defaults; the result is connectivity-checked).
+func ImportTopology(path string, p TopologyParams, rng *rand.Rand) (*Graph, error) {
+	p.Path = path
+	return topo.Generate("import", p, rng)
+}
+
 // Traffic matrices (§5.1.2).
 type (
 	// TrafficMatrix is a dense |V|×|V| demand matrix in Mbps.
@@ -137,6 +163,22 @@ func RandomHighPriorityMatrix(n int, k, f, etaL float64, rng *rand.Rand) (*Traff
 // bidirectional client-sink demands.
 func SinkHighPriorityMatrix(g *Graph, sinks int, k, f, etaL float64, placement SinkPlacement, rng *rand.Rand) (*TrafficMatrix, error) {
 	return traffic.SinkHighPriority(g, sinks, k, f, etaL, placement, rng)
+}
+
+// TrafficParams parameterizes a registered high-priority traffic model;
+// zero fields resolve to the model's defaults.
+type TrafficParams = traffic.Params
+
+// TrafficModels lists every registered high-priority model name: the
+// paper's three placements plus capacity-weighted gravity, bimodal hotspot
+// and the uniform baseline.
+func TrafficModels() []string { return traffic.Models() }
+
+// GenerateHighPriorityMatrix builds TH from any registered model, validating
+// p against the model's rules; etaL is the total low-priority volume the
+// f-fraction scales against.
+func GenerateHighPriorityMatrix(model string, g *Graph, etaL float64, p TrafficParams, rng *rand.Rand) (*TrafficMatrix, error) {
+	return traffic.GenerateHighPriority(model, g, etaL, p, rng)
 }
 
 // Routing substrate.

@@ -3,6 +3,7 @@ package dualtopo_test
 import (
 	"math"
 	"math/rand/v2"
+	"os"
 	"testing"
 
 	"dualtopo"
@@ -58,6 +59,61 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 			t.Fatalf("class %d path endpoints: %v", class, path)
 		}
 	}
+}
+
+func TestGeneratorFacades(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	fams := dualtopo.TopologyFamilies()
+	if len(fams) < 9 {
+		t.Fatalf("families = %v, want >= 9", fams)
+	}
+	g, err := dualtopo.GenerateTopology("torus", dualtopo.TopologyParams{Rows: 4, Cols: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 16 {
+		t.Fatalf("torus nodes = %d", g.NumNodes())
+	}
+	if len(dualtopo.TrafficModels()) < 6 {
+		t.Fatalf("models = %v, want >= 6", dualtopo.TrafficModels())
+	}
+	tl := dualtopo.GravityMatrix(16, rng)
+	th, err := dualtopo.GenerateHighPriorityMatrix("hotspot", g, tl.Total(), dualtopo.TrafficParams{F: 0.2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := th.Total() / (th.Total() + tl.Total())
+	if math.Abs(frac-0.2) > 1e-9 {
+		t.Fatalf("hotspot fraction = %g", frac)
+	}
+}
+
+func TestImportTopologyFacadeResolvesDefaults(t *testing.T) {
+	// The wrapper must go through the registry: unset capacity resolves to
+	// the family default (not zero) and the result is connectivity-checked.
+	path := t.TempDir() + "/net.adj"
+	if err := writeAdj(path, "a b\nb c\nc a\n"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := dualtopo.ImportTopology(path, dualtopo.TopologyParams{}, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.Capacity != dualtopo.DefaultCapacity {
+			t.Fatalf("arc %d capacity = %g, want default %d", e.ID, e.Capacity, dualtopo.DefaultCapacity)
+		}
+	}
+	if err := writeAdj(path, "a b\nc d\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dualtopo.ImportTopology(path, dualtopo.TopologyParams{}, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("disconnected import accepted")
+	}
+}
+
+func writeAdj(path, data string) error {
+	return os.WriteFile(path, []byte(data), 0o644)
 }
 
 func TestFortzThorupCostFacade(t *testing.T) {

@@ -1,0 +1,109 @@
+// Package benchrep defines the machine-readable benchmark report emitted
+// by cmd/dtrbench and the regression-gate comparison consumed by
+// cmd/benchgate and CI. Keeping the types and the gate rules in one
+// importable package means the report writer and the gate can never drift
+// apart on field names or semantics.
+package benchrep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the file-level JSON document (BENCH_PR4.json).
+type Report struct {
+	Generated  string  `json:"generated"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's outcome.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// LoadFile reads a report from disk.
+func LoadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("benchrep: %s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return Report{}, fmt.Errorf("benchrep: %s: no benchmarks", path)
+	}
+	return r, nil
+}
+
+// Finding is one gate violation.
+type Finding struct {
+	// Benchmark is the series name.
+	Benchmark string
+	// Detail explains the violation with the observed numbers.
+	Detail string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s: %s", f.Benchmark, f.Detail) }
+
+// GateResult is the outcome of comparing a fresh report against the
+// committed baseline.
+type GateResult struct {
+	// Findings lists every violation; an empty list means the gate passes.
+	Findings []Finding
+	// TimingSkipped reports that ns/op comparison was suppressed because
+	// the run and the baseline used different GOMAXPROCS (timings are not
+	// comparable across machine shapes; allocation counts always are).
+	TimingSkipped bool
+}
+
+// Pass reports whether the gate is green.
+func (r GateResult) Pass() bool { return len(r.Findings) == 0 }
+
+// Compare gates a fresh report against the baseline:
+//
+//   - every baseline benchmark must still exist (a vanished series means a
+//     benchmark rotted or was silently dropped);
+//   - a series with zero allocs/op in the baseline must stay at zero — the
+//     0-alloc hot paths are a hard-won property and allocation counts are
+//     deterministic, so any increase fails regardless of machine;
+//   - ns/op may regress by at most maxRegress (e.g. 0.25 for +25%), checked
+//     only when both reports ran at the same GOMAXPROCS.
+func Compare(baseline, current Report, maxRegress float64) GateResult {
+	res := GateResult{TimingSkipped: baseline.GOMAXPROCS != current.GOMAXPROCS}
+	byName := make(map[string]Entry, len(current.Benchmarks))
+	for _, e := range current.Benchmarks {
+		byName[e.Name] = e
+	}
+	for _, base := range baseline.Benchmarks {
+		cur, ok := byName[base.Name]
+		if !ok {
+			res.Findings = append(res.Findings, Finding{base.Name, "missing from current report"})
+			continue
+		}
+		if base.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			res.Findings = append(res.Findings, Finding{base.Name,
+				fmt.Sprintf("allocs/op regressed from 0 to %d", cur.AllocsPerOp)})
+		}
+		if !res.TimingSkipped && base.NsPerOp > 0 {
+			limit := base.NsPerOp * (1 + maxRegress)
+			if cur.NsPerOp > limit {
+				res.Findings = append(res.Findings, Finding{base.Name,
+					fmt.Sprintf("ns/op regressed %.0f -> %.0f (+%.0f%%, limit +%.0f%%)",
+						base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/base.NsPerOp-1), 100*maxRegress)})
+			}
+		}
+	}
+	return res
+}

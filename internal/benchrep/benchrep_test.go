@@ -1,0 +1,133 @@
+package benchrep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(gomaxprocs int, entries ...Entry) Report {
+	return Report{GoVersion: "go1.24", GOMAXPROCS: gomaxprocs, Benchmarks: entries}
+}
+
+func TestComparePasses(t *testing.T) {
+	base := report(1,
+		Entry{Name: "spf", NsPerOp: 1000, AllocsPerOp: 0},
+		Entry{Name: "route", NsPerOp: 5000, AllocsPerOp: 2},
+	)
+	cur := report(1,
+		Entry{Name: "spf", NsPerOp: 1100, AllocsPerOp: 0},
+		Entry{Name: "route", NsPerOp: 6000, AllocsPerOp: 2},
+		Entry{Name: "brand-new", NsPerOp: 1, AllocsPerOp: 99},
+	)
+	res := Compare(base, cur, 0.25)
+	if !res.Pass() {
+		t.Fatalf("expected pass, got %v", res.Findings)
+	}
+	if res.TimingSkipped {
+		t.Fatal("timing skipped with equal GOMAXPROCS")
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base := report(1, Entry{Name: "spf", NsPerOp: 1000})
+	cur := report(1, Entry{Name: "spf", NsPerOp: 1300})
+	res := Compare(base, cur, 0.25)
+	if res.Pass() {
+		t.Fatal("30% regression passed a 25% gate")
+	}
+	if !strings.Contains(res.Findings[0].String(), "ns/op") {
+		t.Fatalf("finding = %v", res.Findings[0])
+	}
+	// Exactly at the limit passes (gate is >, not >=).
+	if res := Compare(base, report(1, Entry{Name: "spf", NsPerOp: 1250}), 0.25); !res.Pass() {
+		t.Fatalf("at-limit run failed: %v", res.Findings)
+	}
+}
+
+func TestCompareZeroAllocSeries(t *testing.T) {
+	base := report(1,
+		Entry{Name: "spf", NsPerOp: 1000, AllocsPerOp: 0},
+		Entry{Name: "eval", NsPerOp: 1000, AllocsPerOp: 6},
+	)
+	cur := report(1,
+		Entry{Name: "spf", NsPerOp: 1000, AllocsPerOp: 1},
+		Entry{Name: "eval", NsPerOp: 1000, AllocsPerOp: 8},
+	)
+	res := Compare(base, cur, 0.25)
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the 0-alloc violation", res.Findings)
+	}
+	if res.Findings[0].Benchmark != "spf" {
+		t.Fatalf("flagged %q, want spf", res.Findings[0].Benchmark)
+	}
+}
+
+func TestCompareSkipsTimingAcrossGomaxprocs(t *testing.T) {
+	base := report(1,
+		Entry{Name: "spf", NsPerOp: 1000, AllocsPerOp: 0},
+	)
+	cur := report(4,
+		Entry{Name: "spf", NsPerOp: 9000, AllocsPerOp: 0},
+	)
+	res := Compare(base, cur, 0.25)
+	if !res.TimingSkipped {
+		t.Fatal("timing not skipped across GOMAXPROCS")
+	}
+	if !res.Pass() {
+		t.Fatalf("9x slower run failed despite timing skip: %v", res.Findings)
+	}
+	// The alloc gate still applies across machine shapes.
+	cur.Benchmarks[0].AllocsPerOp = 3
+	if res := Compare(base, cur, 0.25); res.Pass() {
+		t.Fatal("alloc regression passed under timing skip")
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := report(1, Entry{Name: "spf"}, Entry{Name: "route"})
+	cur := report(1, Entry{Name: "spf"})
+	res := Compare(base, cur, 0.25)
+	if res.Pass() || !strings.Contains(res.Findings[0].String(), "missing") {
+		t.Fatalf("findings = %v", res.Findings)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data := `{"go_version":"go1.24.0","gomaxprocs":1,"benchmarks":[{"name":"spf","ns_per_op":8131.4,"allocs_per_op":0}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GOMAXPROCS != 1 || len(r.Benchmarks) != 1 || r.Benchmarks[0].Name != "spf" {
+		t.Fatalf("loaded = %+v", r)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644)
+	if _, err := LoadFile(empty); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}
+
+// TestCommittedBaselineLoads guards the committed baseline file itself: the
+// gate job is vacuous if BENCH_PR4.json ever becomes unreadable.
+func TestCommittedBaselineLoads(t *testing.T) {
+	r, err := LoadFile(filepath.Join("..", "..", "BENCH_PR4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) < 5 {
+		t.Fatalf("baseline has only %d series", len(r.Benchmarks))
+	}
+	if res := Compare(r, r, 0.25); !res.Pass() {
+		t.Fatalf("baseline does not gate against itself: %v", res.Findings)
+	}
+}

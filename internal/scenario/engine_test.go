@@ -27,7 +27,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	configs := []Options{
 		{Workers: 1},
 		{Workers: 4},
-		{Workers: 1}, // repeat-run check
+		{Workers: 1},                  // repeat-run check
 		{Workers: 2, RouteWorkers: 4}, // parallel full-route inside trials
 	}
 	for _, opts := range configs {

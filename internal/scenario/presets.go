@@ -1,10 +1,16 @@
 package scenario
 
+import (
+	"dualtopo/internal/topo"
+	"dualtopo/internal/traffic"
+)
+
 // The bundled preset library: named, curated campaigns spanning the paper's
-// evaluation axes (topology family × traffic model × objective × failures),
-// runnable as `dtrscen run -preset <name>` without writing a spec file. All
-// presets default to the tiny budget tier; raise it with the CLI's -budget
-// flag (or a spec file) for publication-quality numbers.
+// evaluation axes (topology family × traffic model × objective × failures)
+// plus the extended generator families, runnable as `dtrscen run -preset
+// <name>` without writing a spec file. All presets default to the tiny
+// budget tier; raise it with the CLI's -budget flag (or a spec file) for
+// publication-quality numbers.
 
 // presetLibrary lists the bundled campaigns in display order.
 var presetLibrary = []Spec{
@@ -101,6 +107,36 @@ var presetLibrary = []Spec{
 		Seed:        9,
 		Failures:    FailureSpec{Kind: "link", Count: 2, Sample: 16, Robust: true},
 	},
+	{
+		Name:        "waxman-load",
+		Description: "generator family: Waxman geometric topology with distance delays, random HP traffic",
+		Topology:    TopologySpec{Family: TopoWaxman, Params: &topo.Params{Nodes: 30, Alpha: 0.3, Beta: 0.5}},
+		Traffic:     TrafficSpec{HighModel: HPRandom},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.5, 0.7},
+		Trials:      2,
+		Seed:        10,
+	},
+	{
+		Name:        "hier-hotspot",
+		Description: "generator family: two-tier hierarchical ISP with fat core, bimodal hotspot HP traffic",
+		Topology:    TopologySpec{Family: TopoHier, Params: &topo.Params{Pops: 5, RoutersPerPop: 4, CoreCapacityX: 4}},
+		Traffic:     TrafficSpec{HighModel: HPHotspot, Params: &traffic.Params{F: 0.25, HotspotFraction: 0.15, HotspotBoost: 6}},
+		Objective:   ObjectiveSpec{Kind: "load"},
+		Loads:       []float64{0.5, 0.7},
+		Trials:      2,
+		Seed:        11,
+	},
+	{
+		Name:        "torus-gravity-sla",
+		Description: "generator family: torus lattice under SLA objective, capacity-weighted gravity HP traffic",
+		Topology:    TopologySpec{Family: TopoTorus, Params: &topo.Params{Rows: 4, Cols: 5}},
+		Traffic:     TrafficSpec{HighModel: HPGravity, F: 0.20},
+		Objective:   ObjectiveSpec{Kind: "sla", ThetaMs: 30},
+		Loads:       []float64{0.5, 0.6},
+		Trials:      2,
+		Seed:        12,
+	},
 }
 
 // Presets returns the bundled campaign library in display order. Every spec
@@ -113,9 +149,18 @@ func Presets() []Spec {
 	return out
 }
 
-// clone deep-copies the spec's reference fields (Loads and SRLG groups).
+// clone deep-copies the spec's reference fields (Loads, params objects and
+// SRLG groups).
 func (s Spec) clone() Spec {
 	s.Loads = append([]float64(nil), s.Loads...)
+	if s.Topology.Params != nil {
+		p := *s.Topology.Params
+		s.Topology.Params = &p
+	}
+	if s.Traffic.Params != nil {
+		p := *s.Traffic.Params
+		s.Traffic.Params = &p
+	}
 	if s.Failures.SRLGs != nil {
 		groups := make([][]int, len(s.Failures.SRLGs))
 		for i, g := range s.Failures.SRLGs {

@@ -30,18 +30,32 @@ import (
 	"dualtopo/internal/traffic"
 )
 
-// Topology names accepted by InstanceSpec and TopologySpec.
+// Topology family names accepted by InstanceSpec and TopologySpec. Any
+// name registered in internal/topo works (topo.Families() enumerates them);
+// these constants cover the bundled families.
 const (
 	TopoRandom   = "random"
 	TopoPowerLaw = "powerlaw"
 	TopoISP      = "isp"
+	TopoWaxman   = "waxman"
+	TopoRing     = "ring"
+	TopoGrid     = "grid"
+	TopoTorus    = "torus"
+	TopoHier     = "hier"
+	TopoImport   = "import"
 )
 
-// High-priority traffic models accepted by InstanceSpec and TrafficSpec.
+// High-priority traffic model names accepted by InstanceSpec and
+// TrafficSpec. Any name registered in internal/traffic works
+// (traffic.Models() enumerates them); these constants cover the bundled
+// models.
 const (
 	HPRandom      = "random"
 	HPSinkUniform = "sink-uniform"
 	HPSinkLocal   = "sink-local"
+	HPGravity     = "gravity"
+	HPHotspot     = "hotspot"
+	HPUniform     = "uniform"
 )
 
 // InstanceSpec describes one problem instance, mirroring the evaluation
@@ -49,7 +63,7 @@ const (
 // one InstanceSpec per (load point, trial).
 type InstanceSpec struct {
 	Topology     string
-	Nodes, Links int     // bidirectional links; ignored for the ISP topology
+	Nodes, Links int     // legacy shorthand for TopoParams.Nodes/Links
 	Capacity     float64 // per-arc capacity in Mbps; 0 means the paper's 500
 	Kind         eval.Kind
 	ThetaMs      float64 // SLA bound; 0 means the paper default (25 ms)
@@ -59,6 +73,14 @@ type InstanceSpec struct {
 	Sinks        int // sink-model sink count; 0 means 3
 	TargetUtil   float64
 	Seed         uint64
+	// TopoParams, when non-nil, carries the topology family's full
+	// parameter set (Waxman alpha/beta, lattice rows/cols, import path,
+	// delay model, ...). The flat Nodes/Links/Capacity shorthand fills its
+	// zero values; family defaults fill the rest.
+	TopoParams *topo.Params
+	// HPParams, when non-nil, carries the high-priority model's full
+	// parameter set; the flat F/K/Sinks shorthand fills its zero values.
+	HPParams *traffic.Params
 	// Robust, when non-nil, makes the DTR search failure-aware: candidates
 	// are scored on the nominal objective plus mean and worst-case ΦL over
 	// the model's (sampled, seeded) failure set.
@@ -72,20 +94,25 @@ type Instance struct {
 	Opts   eval.Options
 }
 
-// paperDefaults fills unset spec fields with §5.1 values.
+// paperDefaults fills unset spec fields with §5.1 values. Sizing defaults
+// apply only to the paper's synthetic families; every other family gets its
+// sizes from the topo registry defaults, where a flat Nodes/Links shorthand
+// may not even be meaningful (lattices, import).
 func (s *InstanceSpec) paperDefaults() {
 	if s.Topology == "" {
 		s.Topology = TopoRandom
 	}
-	if s.Nodes == 0 {
-		s.Nodes = 30
-	}
-	if s.Links == 0 {
-		switch s.Topology {
-		case TopoPowerLaw:
-			s.Links = 81 // 162 arcs
-		default:
-			s.Links = 75 // 150 arcs
+	switch s.Topology {
+	case TopoRandom, TopoPowerLaw:
+		if s.Nodes == 0 {
+			s.Nodes = 30
+		}
+		if s.Links == 0 {
+			if s.Topology == TopoPowerLaw {
+				s.Links = 81 // 162 arcs
+			} else {
+				s.Links = 75 // 150 arcs
+			}
 		}
 	}
 	if s.Capacity == 0 {
@@ -112,62 +139,52 @@ func (s *InstanceSpec) paperDefaults() {
 }
 
 // Describe renders the spec's effective (defaulted) parameters for report
-// notes.
+// notes, folding any params object the same way Build does.
 func (s InstanceSpec) Describe() string {
 	s.paperDefaults()
+	hp := s.hpParams()
 	return fmt.Sprintf("topology=%s kind=%v f=%.0f%% k=%.0f%%",
-		s.Topology, s.Kind, s.F*100, s.K*100)
+		s.Topology, s.Kind, hp.F*100, hp.K*100)
 }
 
-// Build constructs the instance: topology with capacities and delays,
-// gravity low-priority matrix, high-priority matrix per model, and both
-// matrices scaled so the unit-weight routing has the target average link
-// utilization (the paper "varies total traffic demand by scaling the
-// traffic matrix").
+// topoParams folds the spec's flat sizing shorthand into its params object
+// (explicit params win; family defaults are merged by topo.Resolve).
+func (s InstanceSpec) topoParams() topo.Params {
+	var p topo.Params
+	if s.TopoParams != nil {
+		p = *s.TopoParams
+	}
+	return p.WithSizes(s.Nodes, s.Links, s.Capacity)
+}
+
+// hpParams folds the spec's flat traffic shorthand into its params object.
+func (s InstanceSpec) hpParams() traffic.Params {
+	var p traffic.Params
+	if s.HPParams != nil {
+		p = *s.HPParams
+	}
+	return p.WithShorthand(s.F, s.K, s.Sinks)
+}
+
+// Build constructs the instance through the generator registries: topology
+// with capacities and delays, gravity low-priority matrix, high-priority
+// matrix per model, and both matrices scaled so the unit-weight routing has
+// the target average link utilization (the paper "varies total traffic
+// demand by scaling the traffic matrix").
 func (s InstanceSpec) Build() (*Instance, error) {
 	s.paperDefaults()
 	rng := rand.New(rand.NewPCG(s.Seed, 0xd7a1))
 
-	var g *graph.Graph
-	var err error
-	switch s.Topology {
-	case TopoRandom:
-		g, err = topo.Random(s.Nodes, s.Links, s.Capacity, rng)
-		if err == nil {
-			topo.AssignUniformDelays(g, topo.MinSynthDelayMs, topo.MaxSynthDelayMs, rng)
-		}
-	case TopoPowerLaw:
-		g, err = topo.PowerLaw(s.Nodes, s.Links, s.Capacity, rng)
-		if err == nil {
-			topo.AssignUniformDelays(g, topo.MinSynthDelayMs, topo.MaxSynthDelayMs, rng)
-		}
-	case TopoISP:
-		g = topo.ISPBackbone(s.Capacity)
-	default:
-		return nil, fmt.Errorf("scenario: unknown topology %q", s.Topology)
-	}
+	g, err := topo.Generate(s.Topology, s.topoParams(), rng)
 	if err != nil {
-		return nil, err
-	}
-	if err := g.RequireStronglyConnected(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 
 	n := g.NumNodes()
 	tl := traffic.Gravity(n, rng)
-	var th *traffic.Matrix
-	switch s.HPModel {
-	case HPRandom:
-		th, err = traffic.RandomHighPriority(n, s.K, s.F, tl.Total(), rng)
-	case HPSinkUniform:
-		th, err = traffic.SinkHighPriority(g, s.Sinks, s.K, s.F, tl.Total(), traffic.UniformClients, rng)
-	case HPSinkLocal:
-		th, err = traffic.SinkHighPriority(g, s.Sinks, s.K, s.F, tl.Total(), traffic.LocalClients, rng)
-	default:
-		return nil, fmt.Errorf("scenario: unknown HP model %q", s.HPModel)
-	}
+	th, err := traffic.GenerateHighPriority(s.HPModel, g, tl.Total(), s.hpParams(), rng)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
 
 	if err := scaleToUtilization(g, th, tl, s.TargetUtil); err != nil {

@@ -9,6 +9,8 @@ import (
 
 	"dualtopo/internal/eval"
 	"dualtopo/internal/resilience"
+	"dualtopo/internal/topo"
+	"dualtopo/internal/traffic"
 )
 
 // Spec is a declarative what-if campaign: one topology/traffic/objective
@@ -36,24 +38,41 @@ type Spec struct {
 	Failures FailureSpec `json:"failures,omitempty"`
 }
 
-// TopologySpec selects the topology family and size.
+// TopologySpec selects the topology family and its parameters.
 type TopologySpec struct {
-	// Family is "random", "powerlaw" or "isp".
+	// Family names any registered topology generator (topo.Families()):
+	// the paper's "random", "powerlaw" and "isp", plus "waxman", "ring",
+	// "grid", "torus", "hier" and "import".
 	Family string `json:"family"`
-	// Nodes and Links size synthetic families; both are ignored for "isp"
-	// and default to the paper's 30 nodes / 75 (random) or 81 (powerlaw)
-	// bidirectional links.
+	// Nodes, Links and CapacityMbps are legacy shorthand for the matching
+	// Params fields; Params wins where both are set.
 	Nodes int `json:"nodes,omitempty"`
 	Links int `json:"links,omitempty"`
 	// CapacityMbps is the per-arc capacity; 0 means the paper's 500.
 	CapacityMbps float64 `json:"capacity_mbps,omitempty"`
+	// Params is the family's full parameter set (Waxman alpha/beta,
+	// lattice rows/cols, hier PoP fan-out, import path, delay model, ...).
+	// Unset fields resolve to the family's registered defaults.
+	Params *topo.Params `json:"params,omitempty"`
+}
+
+// params folds the legacy shorthand fields into the explicit params object
+// (explicit wins); family defaults are merged later by topo.Resolve.
+func (t TopologySpec) params() topo.Params {
+	var p topo.Params
+	if t.Params != nil {
+		p = *t.Params
+	}
+	return p.WithSizes(t.Nodes, t.Links, t.CapacityMbps)
 }
 
 // TrafficSpec selects the traffic matrices of both classes. The low-priority
 // class always follows the gravity model (Eq. 6-7); HighModel picks the
 // high-priority overlay.
 type TrafficSpec struct {
-	// HighModel is "random", "sink-uniform" or "sink-local".
+	// HighModel names any registered high-priority model
+	// (traffic.Models()): the paper's "random", "sink-uniform" and
+	// "sink-local", plus "gravity", "hotspot" and "uniform".
 	HighModel string `json:"high_model"`
 	// F is the high-priority volume fraction; 0 means 30%.
 	F float64 `json:"f,omitempty"`
@@ -61,6 +80,20 @@ type TrafficSpec struct {
 	K float64 `json:"k,omitempty"`
 	// Sinks is the sink-model sink count; 0 means 3.
 	Sinks int `json:"sinks,omitempty"`
+	// Params is the model's full parameter set (hotspot fraction/boost,
+	// ...). Unset fields resolve to the model's registered defaults; the
+	// flat F/K/Sinks shorthand fills its zero values.
+	Params *traffic.Params `json:"params,omitempty"`
+}
+
+// params folds the legacy shorthand fields into the explicit params object
+// (explicit wins); model defaults are merged later by traffic.ResolveModel.
+func (t TrafficSpec) params() traffic.Params {
+	var p traffic.Params
+	if t.Params != nil {
+		p = *t.Params
+	}
+	return p.WithShorthand(t.F, t.K, t.Sinks)
 }
 
 // ObjectiveSpec selects the cost function family of §3.
@@ -209,27 +242,16 @@ func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario: spec has no name")
 	}
-	switch s.Topology.Family {
-	case TopoRandom, TopoPowerLaw, TopoISP:
-	default:
-		return fmt.Errorf("scenario: unknown topology family %q (random|powerlaw|isp)", s.Topology.Family)
-	}
 	if s.Topology.Nodes < 0 || s.Topology.Links < 0 || s.Topology.CapacityMbps < 0 {
 		return fmt.Errorf("scenario: negative topology size or capacity")
 	}
-	switch s.Traffic.HighModel {
-	case HPRandom, HPSinkUniform, HPSinkLocal:
-	default:
-		return fmt.Errorf("scenario: unknown high-priority model %q (random|sink-uniform|sink-local)", s.Traffic.HighModel)
+	// Family names and parameters validate against the generator
+	// registries, so error messages enumerate what is actually registered.
+	if _, _, err := topo.Resolve(s.Topology.Family, s.Topology.params()); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
-	if s.Traffic.F < 0 || s.Traffic.F > 1 {
-		return fmt.Errorf("scenario: high-priority fraction f=%g outside [0,1]", s.Traffic.F)
-	}
-	if s.Traffic.K < 0 || s.Traffic.K > 1 {
-		return fmt.Errorf("scenario: SD-pair density k=%g outside [0,1]", s.Traffic.K)
-	}
-	if s.Traffic.Sinks < 0 {
-		return fmt.Errorf("scenario: negative sink count %d", s.Traffic.Sinks)
+	if _, _, err := traffic.ResolveModel(s.Traffic.HighModel, s.Traffic.params()); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	if _, ok := objectiveKinds[s.Objective.Kind]; !ok {
 		return fmt.Errorf("scenario: unknown objective kind %q (load|sla)", s.Objective.Kind)
@@ -303,21 +325,19 @@ type WorkItem struct {
 func (s Spec) WorkList() []WorkItem {
 	s = s.Normalize()
 	kind := objectiveKinds[s.Objective.Kind]
+	topoParams := s.Topology.params()
+	hpParams := s.Traffic.params()
 	items := make([]WorkItem, 0, len(s.Loads)*s.Trials)
 	for p, load := range s.Loads {
 		for t := 0; t < s.Trials; t++ {
 			seed := SubSeed(s.Seed, p, t)
 			is := InstanceSpec{
 				Topology:   s.Topology.Family,
-				Nodes:      s.Topology.Nodes,
-				Links:      s.Topology.Links,
-				Capacity:   s.Topology.CapacityMbps,
+				TopoParams: &topoParams,
 				Kind:       kind,
 				ThetaMs:    s.Objective.ThetaMs,
-				F:          s.Traffic.F,
-				K:          s.Traffic.K,
 				HPModel:    s.Traffic.HighModel,
-				Sinks:      s.Traffic.Sinks,
+				HPParams:   &hpParams,
 				TargetUtil: load,
 				Seed:       seed,
 			}

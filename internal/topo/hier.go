@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dualtopo/internal/graph"
+)
+
+// Hierarchical generates a two-tier ISP: Pops points of presence, each with
+// RoutersPerPop routers. The first two routers of every PoP are redundant
+// core gateways (linked to each other); the remaining access routers fan
+// out dual-homed to both gateways. The core tier is two link-disjoint rings
+// — one over the primary gateways, one over the secondary gateways — so no
+// single core link partitions the network. Core links carry CoreCapacityX
+// times the access capacity, emulating fat inter-PoP trunks.
+//
+// Node names encode the tier: "p<P>g0"/"p<P>g1" for gateways, "p<P>a<R>"
+// for access routers.
+func Hierarchical(p Params, rng *rand.Rand) (*graph.Graph, error) {
+	pops, routers := p.Pops, p.RoutersPerPop
+	g := graph.New(pops * routers)
+	coreCap := p.CapacityMbps * p.CoreCapacityX
+	gw := func(pop, i int) graph.NodeID { return graph.NodeID(pop*routers + i) }
+	for pop := 0; pop < pops; pop++ {
+		g.SetName(gw(pop, 0), fmt.Sprintf("p%dg0", pop))
+		g.SetName(gw(pop, 1), fmt.Sprintf("p%dg1", pop))
+		// Gateway pair.
+		g.AddLink(gw(pop, 0), gw(pop, 1), coreCap, 0)
+		// Access fan-out, dual-homed.
+		for r := 2; r < routers; r++ {
+			g.SetName(gw(pop, r), fmt.Sprintf("p%da%d", pop, r-2))
+			g.AddLink(gw(pop, r), gw(pop, 0), p.CapacityMbps, 0)
+			g.AddLink(gw(pop, r), gw(pop, 1), p.CapacityMbps, 0)
+		}
+	}
+	// Core tier: two link-disjoint rings across PoPs.
+	for pop := 0; pop < pops; pop++ {
+		next := (pop + 1) % pops
+		g.AddLink(gw(pop, 0), gw(next, 0), coreCap, 0)
+		g.AddLink(gw(pop, 1), gw(next, 1), coreCap, 0)
+	}
+	applyUniformDelay(g, p, rng)
+	return g, nil
+}
+
+func init() {
+	Register(Generator{
+		Name:        "hier",
+		Description: "two-tier hierarchical ISP: PoPs with dual gateways, access fan-out, fat core rings",
+		Defaults: Params{
+			Pops:          6,
+			RoutersPerPop: 5,
+			CoreCapacityX: 4,
+			CapacityMbps:  DefaultCapacity,
+		}.overlay(delayDefaults),
+		Validate: func(p Params) error {
+			if err := validateDelay(p); err != nil {
+				return err
+			}
+			if p.DelayModel == DelayDistance {
+				return fmt.Errorf("topo: hier places no coordinates; delay_model=distance unsupported")
+			}
+			if err := noLinksBudget("hier", p); err != nil {
+				return err
+			}
+			if p.Pops < 3 {
+				return fmt.Errorf("topo: hier needs pops >= 3, got %d", p.Pops)
+			}
+			if p.RoutersPerPop < 2 {
+				return fmt.Errorf("topo: hier needs routers_per_pop >= 2, got %d", p.RoutersPerPop)
+			}
+			if p.CoreCapacityX < 1 {
+				return fmt.Errorf("topo: hier core_capacity_x=%g must be >= 1", p.CoreCapacityX)
+			}
+			if p.Nodes != 0 && p.Nodes != p.Pops*p.RoutersPerPop {
+				return fmt.Errorf("topo: hier size is pops*routers_per_pop = %d; params.nodes=%d contradicts it",
+					p.Pops*p.RoutersPerPop, p.Nodes)
+			}
+			return nil
+		},
+		Generate: Hierarchical,
+	})
+}

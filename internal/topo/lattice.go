@@ -1,0 +1,120 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"dualtopo/internal/graph"
+)
+
+// Ring generates an n-node cycle plus an optional number of diameter
+// chords: chord i connects node round(i*n/chords) to the node half way
+// around the ring, shrinking the hop diameter while keeping the regular
+// structure. Chord endpoints are deterministic (no rng draw), so two rings
+// of the same size are identical up to delay assignment.
+func Ring(p Params, rng *rand.Rand) (*graph.Graph, error) {
+	n := p.Nodes
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddLink(graph.NodeID(i), graph.NodeID((i+1)%n), p.CapacityMbps, 0)
+	}
+	half := n / 2
+	for c := 0; c < p.Chords; c++ {
+		u := c * n / p.Chords
+		v := (u + half) % n
+		if !g.HasLink(graph.NodeID(u), graph.NodeID(v)) {
+			g.AddLink(graph.NodeID(u), graph.NodeID(v), p.CapacityMbps, 0)
+		}
+	}
+	applyUniformDelay(g, p, rng)
+	return g, nil
+}
+
+// lattice generates a rows x cols grid; when wrap is true the edges wrap
+// around both dimensions, producing a torus where every node has degree 4.
+func lattice(p Params, wrap bool, rng *rand.Rand) (*graph.Graph, error) {
+	rows, cols := p.Rows, p.Cols
+	g := graph.New(rows * cols)
+	at := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.SetName(at(r, c), fmt.Sprintf("r%dc%d", r, c))
+			if c+1 < cols || wrap {
+				g.AddLink(at(r, c), at(r, (c+1)%cols), p.CapacityMbps, 0)
+			}
+			if r+1 < rows || wrap {
+				g.AddLink(at(r, c), at((r+1)%rows, c), p.CapacityMbps, 0)
+			}
+		}
+	}
+	applyUniformDelay(g, p, rng)
+	return g, nil
+}
+
+// validateLattice checks the shared grid/torus parameters. minDim is 2 for
+// the open grid and 3 for the torus (a wrapped dimension of 2 would create
+// parallel links between the same node pair).
+func validateLattice(family string, minDim int, p Params) error {
+	if err := validateDelay(p); err != nil {
+		return err
+	}
+	if p.DelayModel == DelayDistance {
+		return fmt.Errorf("topo: %s places no coordinates; delay_model=distance unsupported", family)
+	}
+	if err := noLinksBudget(family, p); err != nil {
+		return err
+	}
+	if p.Rows < minDim || p.Cols < minDim {
+		return fmt.Errorf("topo: %s needs rows and cols >= %d, got %dx%d", family, minDim, p.Rows, p.Cols)
+	}
+	if p.Nodes != 0 && p.Nodes != p.Rows*p.Cols {
+		return fmt.Errorf("topo: %s size is rows*cols = %d; params.nodes=%d contradicts it",
+			family, p.Rows*p.Cols, p.Nodes)
+	}
+	return nil
+}
+
+func init() {
+	Register(Generator{
+		Name:        "ring",
+		Description: "n-node cycle with optional diameter chords",
+		Defaults:    Params{Nodes: 30, CapacityMbps: DefaultCapacity}.overlay(delayDefaults),
+		Validate: func(p Params) error {
+			if err := validateDelay(p); err != nil {
+				return err
+			}
+			if p.DelayModel == DelayDistance {
+				return fmt.Errorf("topo: ring places no coordinates; delay_model=distance unsupported")
+			}
+			if err := noLinksBudget("ring", p); err != nil {
+				return err
+			}
+			if p.Nodes < 4 {
+				return fmt.Errorf("topo: ring needs nodes >= 4, got %d", p.Nodes)
+			}
+			if p.Chords < 0 || p.Chords > p.Nodes/2 {
+				return fmt.Errorf("topo: ring chords=%d outside [0,%d]", p.Chords, p.Nodes/2)
+			}
+			return nil
+		},
+		Generate: Ring,
+	})
+	Register(Generator{
+		Name:        "grid",
+		Description: "rows x cols open grid lattice",
+		Defaults:    Params{Rows: 5, Cols: 6, CapacityMbps: DefaultCapacity}.overlay(delayDefaults),
+		Validate:    func(p Params) error { return validateLattice("grid", 2, p) },
+		Generate: func(p Params, rng *rand.Rand) (*graph.Graph, error) {
+			return lattice(p, false, rng)
+		},
+	})
+	Register(Generator{
+		Name:        "torus",
+		Description: "rows x cols wrapped lattice; every node has degree 4",
+		Defaults:    Params{Rows: 5, Cols: 6, CapacityMbps: DefaultCapacity}.overlay(delayDefaults),
+		Validate:    func(p Params) error { return validateLattice("torus", 3, p) },
+		Generate: func(p Params, rng *rand.Rand) (*graph.Graph, error) {
+			return lattice(p, true, rng)
+		},
+	})
+}

@@ -1,0 +1,334 @@
+package topo
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dualtopo/internal/graph"
+)
+
+// testParams returns per-family params that make every registered family
+// generable in a test environment (the import family needs a file).
+func testParams(t *testing.T, family string) Params {
+	t.Helper()
+	if family != "import" {
+		return Params{}
+	}
+	return Params{Path: writeTestAdjacency(t)}
+}
+
+func writeTestAdjacency(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.adj")
+	data := "# tiny test net\na b 100 2\nb c 100 3\nc a 100 4\nc d 200 1\nd a 150\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRegistryHasAllFamilies(t *testing.T) {
+	want := []string{"grid", "hier", "import", "isp", "powerlaw", "random", "ring", "torus", "waxman"}
+	got := Families()
+	for _, fam := range want {
+		found := false
+		for _, g := range got {
+			if g == fam {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %q not registered (have %v)", fam, got)
+		}
+	}
+	if list := FamilyList(); !strings.Contains(list, "waxman") || !strings.Contains(list, "|") {
+		t.Errorf("FamilyList() = %q", list)
+	}
+}
+
+func TestEveryFamilyGeneratesConnected(t *testing.T) {
+	for _, fam := range Families() {
+		g, err := Generate(fam, testParams(t, fam), rand.New(rand.NewPCG(7, 7)))
+		if err != nil {
+			t.Errorf("%s: %v", fam, err)
+			continue
+		}
+		if !g.StronglyConnected() {
+			t.Errorf("%s: not strongly connected", fam)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", fam, err)
+		}
+		if g.NumNodes() < 3 || g.NumEdges() < 6 {
+			t.Errorf("%s: degenerate graph %s", fam, g)
+		}
+	}
+}
+
+// TestEveryFamilyDeterministic is the contract campaign reproducibility
+// rests on: the same family, params and seed must yield a bitwise-identical
+// graph on every call.
+func TestEveryFamilyDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		p := testParams(t, fam)
+		a, err := Generate(fam, p, rand.New(rand.NewPCG(3, 4)))
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		b, err := Generate(fam, p, rand.New(rand.NewPCG(3, 4)))
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: same seed, different shape: %s vs %s", fam, a, b)
+		}
+		for i := 0; i < a.NumEdges(); i++ {
+			if a.Edge(graph.EdgeID(i)) != b.Edge(graph.EdgeID(i)) {
+				t.Fatalf("%s: same seed, different arc %d", fam, i)
+			}
+		}
+	}
+}
+
+func TestSeededFamiliesVaryAcrossSeeds(t *testing.T) {
+	// Random families must actually respond to the seed; structural
+	// families (lattices, isp, import) are seed-independent by design.
+	for _, fam := range []string{"random", "powerlaw", "waxman"} {
+		a, err := Generate(fam, Params{}, rand.New(rand.NewPCG(1, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(fam, Params{}, rand.New(rand.NewPCG(2, 2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := a.NumEdges() == b.NumEdges()
+		if same {
+			for i := 0; i < a.NumEdges(); i++ {
+				if a.Edge(graph.EdgeID(i)) != b.Edge(graph.EdgeID(i)) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical graphs", fam)
+		}
+	}
+}
+
+func TestResolveMergesDefaults(t *testing.T) {
+	p, gen, err := Resolve("waxman", Params{Nodes: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Name != "waxman" {
+		t.Fatalf("gen = %q", gen.Name)
+	}
+	if p.Nodes != 12 || p.Alpha != 0.25 || p.Beta != 0.6 || p.CapacityMbps != DefaultCapacity {
+		t.Fatalf("resolved = %+v", p)
+	}
+	if p.DelayModel != DelayDistance {
+		t.Fatalf("delay model = %q", p.DelayModel)
+	}
+}
+
+func TestResolveUnknownFamilyListsRegistry(t *testing.T) {
+	_, _, err := Resolve("mesh", Params{})
+	if err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	for _, fam := range []string{"random", "waxman", "torus", "import"} {
+		if !strings.Contains(err.Error(), fam) {
+			t.Errorf("error %q does not enumerate family %q", err, fam)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		family string
+		p      Params
+	}{
+		{"waxman alpha high", "waxman", Params{Alpha: 1.5}},
+		{"waxman alpha negative", "waxman", Params{Alpha: -0.2}},
+		{"waxman beta negative", "waxman", Params{Beta: -1}},
+		{"waxman too small", "waxman", Params{Nodes: 2}},
+		{"waxman links budget", "waxman", Params{Links: 40}},
+		{"ring too small", "ring", Params{Nodes: 3}},
+		{"ring chords high", "ring", Params{Nodes: 10, Chords: 6}},
+		{"grid too narrow", "grid", Params{Rows: 1, Cols: 5}},
+		{"grid nodes mismatch", "grid", Params{Rows: 4, Cols: 4, Nodes: 30}},
+		{"torus wrap too narrow", "torus", Params{Rows: 2, Cols: 5}},
+		{"hier too few pops", "hier", Params{Pops: 2}},
+		{"hier thin core", "hier", Params{CoreCapacityX: 0.5}},
+		{"hier nodes mismatch", "hier", Params{Pops: 4, RoutersPerPop: 4, Nodes: 30}},
+		{"import no path", "import", Params{}},
+		{"import bad path", "import", Params{Path: "/nonexistent/net.gml"}},
+		{"bad delay model", "random", Params{DelayModel: "gaussian"}},
+		{"inverted delay range", "random", Params{MinDelayMs: 9, MaxDelayMs: 3}},
+		{"distance without coordinates", "grid", Params{DelayModel: DelayDistance}},
+		{"negative capacity", "random", Params{CapacityMbps: -100}},
+		{"negative nodes", "waxman", Params{Nodes: -5}},
+		{"negative links", "random", Params{Links: -5}},
+	}
+	for _, tc := range cases {
+		if _, _, err := Resolve(tc.family, tc.p); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestWaxmanShape(t *testing.T) {
+	g, err := Generate("waxman", Params{Nodes: 40}, rand.New(rand.NewPCG(11, 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 40 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Default alpha/beta should land in a plausible sparse band: above the
+	// spanning-tree floor, well below the complete graph.
+	links := g.NumEdges() / 2
+	if links < 40 || links > 200 {
+		t.Fatalf("links = %d, outside plausible density band", links)
+	}
+	for _, e := range g.Edges() {
+		if e.Delay < MinSynthDelayMs || e.Delay > MaxSynthDelayMs {
+			t.Fatalf("arc %d delay %.2f outside distance-model range", e.ID, e.Delay)
+		}
+		rev, ok := g.Reverse(e.ID)
+		if !ok || g.Edge(rev).Delay != e.Delay {
+			t.Fatalf("arc %d delay asymmetric", e.ID)
+		}
+	}
+}
+
+func TestWaxmanDensityRespondsToAlpha(t *testing.T) {
+	sparse, err := Generate("waxman", Params{Nodes: 40, Alpha: 0.1}, rand.New(rand.NewPCG(5, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Generate("waxman", Params{Nodes: 40, Alpha: 0.9}, rand.New(rand.NewPCG(5, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.NumEdges() <= sparse.NumEdges() {
+		t.Fatalf("alpha=0.9 gave %d arcs, alpha=0.1 gave %d", dense.NumEdges(), sparse.NumEdges())
+	}
+}
+
+func TestRingShape(t *testing.T) {
+	g, err := Generate("ring", Params{Nodes: 12}, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 24 {
+		t.Fatalf("plain ring arcs = %d, want 24", g.NumEdges())
+	}
+	for u := 0; u < 12; u++ {
+		if d := g.UndirectedDegree(graph.NodeID(u)); d != 2 {
+			t.Fatalf("node %d degree = %d, want 2", u, d)
+		}
+	}
+	chorded, err := Generate("ring", Params{Nodes: 12, Chords: 3}, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chorded.NumEdges() != 24+6 {
+		t.Fatalf("chorded ring arcs = %d, want 30", chorded.NumEdges())
+	}
+}
+
+func TestGridAndTorusShape(t *testing.T) {
+	gridG, err := Generate("grid", Params{Rows: 4, Cols: 5}, rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridG.NumNodes() != 20 {
+		t.Fatalf("grid nodes = %d", gridG.NumNodes())
+	}
+	// Open grid: rows*(cols-1) + cols*(rows-1) links.
+	if want := 2 * (4*4 + 5*3); gridG.NumEdges() != want {
+		t.Fatalf("grid arcs = %d, want %d", gridG.NumEdges(), want)
+	}
+	if d := gridG.UndirectedDegree(0); d != 2 {
+		t.Fatalf("grid corner degree = %d, want 2", d)
+	}
+
+	torusG, err := Generate("torus", Params{Rows: 4, Cols: 5}, rand.New(rand.NewPCG(2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * (2 * 4 * 5); torusG.NumEdges() != want {
+		t.Fatalf("torus arcs = %d, want %d", torusG.NumEdges(), want)
+	}
+	for u := 0; u < torusG.NumNodes(); u++ {
+		if d := torusG.UndirectedDegree(graph.NodeID(u)); d != 4 {
+			t.Fatalf("torus node %d degree = %d, want 4", u, d)
+		}
+	}
+}
+
+func TestHierarchicalShape(t *testing.T) {
+	g, err := Generate("hier", Params{Pops: 4, RoutersPerPop: 5, CapacityMbps: 100, CoreCapacityX: 4},
+		rand.New(rand.NewPCG(3, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 20 {
+		t.Fatalf("nodes = %d, want 20", g.NumNodes())
+	}
+	// Per PoP: 1 gateway link + 3 access routers x 2 homes = 7 links; core
+	// adds 2 rings x 4 pops = 8 links. Total 4*7+8 = 36 links = 72 arcs.
+	if g.NumEdges() != 72 {
+		t.Fatalf("arcs = %d, want 72", g.NumEdges())
+	}
+	coreLinks, accessLinks := 0, 0
+	for _, e := range g.Edges() {
+		switch e.Capacity {
+		case 400:
+			coreLinks++
+		case 100:
+			accessLinks++
+		default:
+			t.Fatalf("arc %d capacity %g is neither access (100) nor core (400)", e.ID, e.Capacity)
+		}
+	}
+	if coreLinks != 2*(4+8) || accessLinks != 2*24 {
+		t.Fatalf("core arcs = %d, access arcs = %d", coreLinks, accessLinks)
+	}
+	// Access routers are named and dual-homed.
+	if _, ok := g.NodeByName("p0a0"); !ok {
+		t.Fatal("access router p0a0 missing")
+	}
+	if _, ok := g.NodeByName("p3g1"); !ok {
+		t.Fatal("gateway p3g1 missing")
+	}
+}
+
+func TestHierarchicalSurvivesCoreLinkLoss(t *testing.T) {
+	g, err := Generate("hier", Params{}, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping any single link must not partition the topology (dual
+	// gateways + disjoint core rings). Verify on a clone per link.
+	for id := 0; id < g.NumEdges(); id += 2 {
+		c := graph.New(g.NumNodes())
+		for _, e := range g.Edges() {
+			rev, _ := g.Reverse(graph.EdgeID(id))
+			if e.ID == graph.EdgeID(id) || e.ID == rev {
+				continue
+			}
+			c.AddArc(e.From, e.To, e.Capacity, e.Delay)
+		}
+		if !c.StronglyConnected() {
+			t.Fatalf("removing link %d partitions the hierarchy", id)
+		}
+	}
+}

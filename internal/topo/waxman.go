@@ -1,0 +1,147 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"dualtopo/internal/graph"
+)
+
+// Waxman generates the classic Waxman (1988) geometric random topology:
+// nodes are placed uniformly in the unit square and each node pair is
+// linked with probability
+//
+//	P(u,v) = alpha * exp(-d(u,v) / (beta * L))
+//
+// where d is Euclidean distance and L = sqrt(2) is the maximal distance.
+// Alpha scales overall density; beta controls how strongly probability
+// decays with distance (small beta favors short links). The raw draw can
+// leave the graph disconnected, so remaining components are stitched
+// together by linking the closest cross-component node pair until one
+// component remains — a deterministic repair that preserves the geometric
+// flavor (repair links are as short as possible).
+//
+// Delays follow the resolved delay model: "distance" (the default) maps
+// Euclidean distance linearly onto [minMs, maxMs]; "uniform" redraws them
+// per link; "none" leaves zeros.
+func Waxman(p Params, rng *rand.Rand) (*graph.Graph, error) {
+	n := p.Nodes
+	g := graph.New(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	maxDist := math.Sqrt2
+	dist := func(u, v int) float64 {
+		dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+		return math.Hypot(dx, dy)
+	}
+	delayOf := func(u, v int) float64 {
+		switch p.DelayModel {
+		case DelayDistance:
+			return p.MinDelayMs + dist(u, v)/maxDist*(p.MaxDelayMs-p.MinDelayMs)
+		default:
+			return 0
+		}
+	}
+
+	comp := newUnionFind(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			prob := p.Alpha * math.Exp(-dist(u, v)/(p.Beta*maxDist))
+			if rng.Float64() < prob {
+				g.AddLink(graph.NodeID(u), graph.NodeID(v), p.CapacityMbps, delayOf(u, v))
+				comp.union(u, v)
+			}
+		}
+	}
+
+	// Stitch components: repeatedly add the shortest link crossing two
+	// distinct components (ties broken by node index for determinism).
+	for comp.count > 1 {
+		bestU, bestV, bestD := -1, -1, math.Inf(1)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if comp.find(u) == comp.find(v) {
+					continue
+				}
+				if d := dist(u, v); d < bestD {
+					bestU, bestV, bestD = u, v, d
+				}
+			}
+		}
+		g.AddLink(graph.NodeID(bestU), graph.NodeID(bestV), p.CapacityMbps, delayOf(bestU, bestV))
+		comp.union(bestU, bestV)
+	}
+
+	applyUniformDelay(g, p, rng)
+	return g, nil
+}
+
+// unionFind is a minimal disjoint-set structure for connectivity repair.
+type unionFind struct {
+	parent []int
+	count  int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), count: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(x, y int) {
+	rx, ry := uf.find(x), uf.find(y)
+	if rx != ry {
+		uf.parent[rx] = ry
+		uf.count--
+	}
+}
+
+func init() {
+	Register(Generator{
+		Name:        "waxman",
+		Description: "Waxman geometric random graph: link probability decays with distance",
+		Defaults: Params{
+			Nodes:        30,
+			CapacityMbps: DefaultCapacity,
+			Alpha:        0.25,
+			Beta:         0.6,
+			DelayModel:   DelayDistance,
+			MinDelayMs:   MinSynthDelayMs,
+			MaxDelayMs:   MaxSynthDelayMs,
+		},
+		Validate: func(p Params) error {
+			if err := validateDelay(p); err != nil {
+				return err
+			}
+			if err := noLinksBudget("waxman", p); err != nil {
+				return err
+			}
+			if p.Nodes < 3 {
+				return fmt.Errorf("topo: waxman needs nodes >= 3, got %d", p.Nodes)
+			}
+			if p.Alpha <= 0 || p.Alpha > 1 {
+				return fmt.Errorf("topo: waxman alpha=%g outside (0,1]", p.Alpha)
+			}
+			if p.Beta <= 0 {
+				return fmt.Errorf("topo: waxman beta=%g must be positive", p.Beta)
+			}
+			return nil
+		},
+		Generate: Waxman,
+	})
+}

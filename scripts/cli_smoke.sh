@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CLI smoke test: build every command and drive its primary paths — every
+# registered topology family through topogen, the bundled campaign examples
+# through dtrscen validate, a 1-trial preset run, dtropt on an imported
+# graph, a dtrfail sweep, and the benchgate self-comparison — so no command,
+# preset or generator family can rot unnoticed. CI runs this as the
+# cli-smoke job; it is equally runnable locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+
+echo "== build all commands"
+go build -o "$bin" ./cmd/...
+
+echo "== topogen: list, describe, generate every registered family"
+"$bin/topogen" list >/dev/null
+"$bin/topogen" describe waxman >/dev/null
+for fam in $("$bin/topogen" list -q); do
+  case "$fam" in
+  import)
+    "$bin/topogen" gen -topo import -path examples/campaigns/topologies/abilene.gml \
+      -quiet -o "$bin/$fam.json"
+    ;;
+  *)
+    "$bin/topogen" gen -topo "$fam" -quiet -o "$bin/$fam.json"
+    ;;
+  esac
+  test -s "$bin/$fam.json"
+  echo "   $fam ok"
+done
+
+echo "== dtrscen: list presets, validate bundled example campaigns"
+"$bin/dtrscen" list >/dev/null
+"$bin/dtrscen" validate examples/campaigns/*.json
+
+echo "== dtrscen: run the tiny preset (1 trial per load point)"
+"$bin/dtrscen" run -preset tiny -trials 1 -quiet >"$bin/tiny.jsonl"
+test -s "$bin/tiny.jsonl"
+
+echo "== dtrscen: run a new-family example campaign (1 trial per load point)"
+"$bin/dtrscen" run -trials 1 -quiet examples/campaigns/waxman-load.json >"$bin/waxman.jsonl"
+test -s "$bin/waxman.jsonl"
+
+echo "== dtropt: optimize the imported Abilene topology at the tiny budget"
+"$bin/dtropt" -budget tiny -graph "$bin/import.json" -json "$bin/weights.json" >/dev/null
+test -s "$bin/weights.json"
+
+echo "== dtrfail: sampled single-link sweep at the tiny budget"
+"$bin/dtrfail" -budget tiny -kind link -sample 4 >/dev/null
+
+echo "== benchgate: committed baseline gates against itself"
+"$bin/benchgate" -baseline BENCH_PR4.json -current BENCH_PR4.json >/dev/null
+
+echo "ok: CLI smoke passed"
