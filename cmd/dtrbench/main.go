@@ -22,6 +22,7 @@ import (
 	"dualtopo"
 	"dualtopo/internal/benchkit"
 	"dualtopo/internal/benchrep"
+	"dualtopo/internal/obs"
 )
 
 // The report schema lives in internal/benchrep, shared with the
@@ -36,7 +37,19 @@ func main() {
 	out := flag.String("o", "BENCH_PR4.json", "output report path ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
 	quick := flag.Bool("quick", false, "skip the slow experiment benchmark")
+	var obsCLI obs.CLI
+	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	manifest := obs.NewManifest("dtrbench", os.Args[1:])
+	if err := obsCLI.Start(manifest); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obsCLI.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	// testing.Benchmark honors the -test.benchtime flag; set it explicitly so
 	// the report's cost is predictable.
@@ -88,6 +101,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op  %3d allocs/op\n", e.NsPerOp, e.AllocsPerOp)
 	}
 
+	rep.Manifest = manifest.Finish()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)

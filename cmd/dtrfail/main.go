@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"dualtopo/internal/eval"
+	"dualtopo/internal/obs"
 	"dualtopo/internal/render"
 	"dualtopo/internal/resilience"
 	"dualtopo/internal/scenario"
@@ -57,7 +58,20 @@ func main() {
 	robust := flag.Bool("robust", false, "make the DTR search failure-aware (scored on the same model)")
 	mode := flag.String("mode", "delta", "sweep mode: delta|full|verify")
 	routeWorkers := flag.Int("route-workers", 0, "SPF workers for full/verify evaluations (results are identical)")
+	var obsCLI obs.CLI
+	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	manifest := obs.NewManifest("dtrfail", os.Args[1:])
+	manifest.SetSeed(*seed)
+	if err := obsCLI.Start(manifest); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obsCLI.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	kindName := map[string]eval.Kind{"load": eval.LoadBased, "sla": eval.SLABased}
 	objKind, ok := kindName[*objective]
@@ -104,6 +118,15 @@ func main() {
 			rm.Sample = scenario.RobustDefaultSample // bound the per-candidate sweep cost
 		}
 		spec.Robust = &rm
+	}
+
+	manifest.SpecHash = obs.SpecHash(struct {
+		Spec  scenario.InstanceSpec
+		Model resilience.Model
+		Mode  string
+	}{spec, model, *mode})
+	if line, err := manifest.JSONLine(); err == nil {
+		os.Stderr.Write(line) //nolint:errcheck
 	}
 
 	fmt.Fprintf(os.Stderr, "optimizing %s (budget %s)...\n", spec.Describe(), *budget)

@@ -23,6 +23,7 @@ import (
 	"dualtopo/internal/eval"
 	"dualtopo/internal/experiments"
 	"dualtopo/internal/graph"
+	"dualtopo/internal/obs"
 	"dualtopo/internal/search"
 	"dualtopo/internal/spf"
 	"dualtopo/internal/topo"
@@ -45,8 +46,22 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		budget    = flag.String("budget", "small", "search budget preset: tiny|small|paper")
 		jsonOut   = flag.String("json", "", "write weights and costs as JSON to this file")
+		traceOut  = flag.String("trace", "", "write the DTR search trajectory as JSONL to this file")
 	)
+	var obsCLI obs.CLI
+	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	manifest := obs.NewManifest("dtropt", os.Args[1:])
+	manifest.SetSeed(*seed)
+	if err := obsCLI.Start(manifest); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obsCLI.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	preset, err := experiments.PresetByName(*budget)
 	if err != nil {
@@ -71,6 +86,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	manifest.SpecHash = obs.SpecHash(struct {
+		Topo, Graph, Kind, Budget string
+		Nodes, Links              int
+		Theta, F, K, Util         float64
+		Seed                      uint64
+	}{*topoName, *graphFile, *kind, *budget, *nodes, *links, *theta, *f, *k, *util, *seed})
 
 	strParams := preset.STR
 	strParams.Seed = *seed
@@ -80,6 +101,22 @@ func main() {
 	}
 	dtrParams := preset.DTR
 	dtrParams.Seed = *seed + 1
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw := search.NewTraceWriter(tf)
+		dtrParams.OnEvent = tw.OnEvent
+		defer func() {
+			if err := tw.Err(); err != nil {
+				log.Fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 	dtr, err := search.DTRFrom(ev, str.W, str.W, dtrParams)
 	if err != nil {
 		log.Fatal(err)
@@ -97,14 +134,15 @@ func main() {
 
 	if *jsonOut != "" {
 		out := struct {
-			STRWeights spf.Weights `json:"str_weights"`
-			WH         spf.Weights `json:"dtr_high_weights"`
-			WL         spf.Weights `json:"dtr_low_weights"`
-			STRPhiH    float64     `json:"str_phi_h"`
-			STRPhiL    float64     `json:"str_phi_l"`
-			DTRPhiH    float64     `json:"dtr_phi_h"`
-			DTRPhiL    float64     `json:"dtr_phi_l"`
-		}{str.W, dtr.WH, dtr.WL, str.Result.PhiH, str.Result.PhiL, dtr.Result.PhiH, dtr.Result.PhiL}
+			Manifest   *obs.Manifest `json:"manifest"`
+			STRWeights spf.Weights   `json:"str_weights"`
+			WH         spf.Weights   `json:"dtr_high_weights"`
+			WL         spf.Weights   `json:"dtr_low_weights"`
+			STRPhiH    float64       `json:"str_phi_h"`
+			STRPhiL    float64       `json:"str_phi_l"`
+			DTRPhiH    float64       `json:"dtr_phi_h"`
+			DTRPhiL    float64       `json:"dtr_phi_l"`
+		}{manifest.Finish(), str.W, dtr.WH, dtr.WL, str.Result.PhiH, str.Result.PhiL, dtr.Result.PhiH, dtr.Result.PhiL}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			log.Fatal(err)

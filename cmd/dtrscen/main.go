@@ -30,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"dualtopo/internal/obs"
 	"dualtopo/internal/scenario"
 )
 
@@ -77,6 +78,8 @@ type runConfig struct {
 	seed         int64
 	out          string
 	quiet        bool
+	progress     bool
+	obs          obs.CLI
 }
 
 func runFlags(cfg *runConfig) *flag.FlagSet {
@@ -92,6 +95,8 @@ func runFlags(cfg *runConfig) *flag.FlagSet {
 	fs.Int64Var(&cfg.seed, "seed", -1, "override campaign seed (-1 = keep spec's)")
 	fs.StringVar(&cfg.out, "o", "", "write JSON-lines trial records to this file instead of stdout")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress progress reporting")
+	fs.BoolVar(&cfg.progress, "progress", false, "report done/total, trials/sec and ETA on stderr after every trial")
+	cfg.obs.RegisterFlags(fs)
 	return fs
 }
 
@@ -131,6 +136,16 @@ func cmdRun(args []string) {
 	var cfg runConfig
 	fs := runFlags(&cfg)
 	fs.Parse(args)
+
+	manifest := obs.NewManifest("dtrscen run", args)
+	if err := cfg.obs.Start(manifest); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := cfg.obs.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var specs []scenario.Spec
 	if cfg.preset != "" {
@@ -178,6 +193,20 @@ func cmdRun(args []string) {
 			log.Fatal(err)
 		}
 
+		// Prepend this campaign's manifest line to the trial stream: the
+		// normalized spec's fingerprint and seed pin what produced the records
+		// that follow.
+		norm := spec.Normalize()
+		manifest.SpecHash = obs.SpecHash(norm)
+		manifest.SetSeed(norm.Seed)
+		line, err := manifest.JSONLine()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := out.Write(line); err != nil {
+			log.Fatal(err)
+		}
+
 		opts := scenario.Options{
 			Workers:      cfg.workers,
 			RouteWorkers: cfg.routeWorkers,
@@ -187,20 +216,38 @@ func cmdRun(args []string) {
 				}
 			},
 		}
-		if !cfg.quiet {
+		switch {
+		case cfg.progress:
+			// One line per completed trial: throughput and a remaining-work
+			// estimate from the mean trial rate so far.
+			opts.OnProgress = func(p scenario.Progress) {
+				rate := 0.0
+				if s := p.Elapsed.Seconds(); s > 0 {
+					rate = float64(p.Done) / s
+				}
+				eta := "?"
+				if rate > 0 {
+					left := time.Duration(float64(p.Total-p.Done) / rate * float64(time.Second))
+					eta = left.Round(time.Second).String()
+				}
+				fmt.Fprintf(os.Stderr, "%s: %d/%d trials, %.2f trials/s, ETA %s\n",
+					norm.Name, p.Done, p.Total, rate, eta)
+			}
+		case !cfg.quiet:
 			opts.OnProgress = func(p scenario.Progress) {
 				fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%s)   ",
-					spec.Normalize().Name, p.Done, p.Total, p.Elapsed.Round(time.Millisecond))
+					norm.Name, p.Done, p.Total, p.Elapsed.Round(time.Millisecond))
 			}
 		}
 		res, err := scenario.Run(spec, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !cfg.quiet {
+		if !cfg.quiet && !cfg.progress {
 			fmt.Fprintln(os.Stderr)
 		}
-		fmt.Fprintf(summaryOut, "== campaign %s: %d trials in %.0f ms ==\n%s\n",
-			res.Spec.Name, len(res.Trials), res.ElapsedMs, res.SummaryTable())
+		fmt.Fprintf(summaryOut, "== campaign %s: %d trials in %.0f ms (trial latency p50 %.0f ms, p95 %.0f ms) ==\n%s\n",
+			res.Spec.Name, len(res.Trials), res.ElapsedMs,
+			res.TrialLatency.P50, res.TrialLatency.P95, res.SummaryTable())
 	}
 }

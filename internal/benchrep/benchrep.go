@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"dualtopo/internal/obs"
 )
 
 // Report is the file-level JSON document (BENCH_PR4.json).
@@ -19,6 +21,10 @@ type Report struct {
 	GOARCH     string  `json:"goarch"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Benchmarks []Entry `json:"benchmarks"`
+	// Manifest attributes the report to a run (command, args, VCS stamp,
+	// wall time). The regression gate compares Benchmarks (and GOMAXPROCS)
+	// only, so reports with and without a manifest gate identically.
+	Manifest *obs.Manifest `json:"manifest,omitempty"`
 }
 
 // Entry is one benchmark's outcome.

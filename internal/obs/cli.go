@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// CLI is the observability surface every long-running command shares:
+// -metrics-addr serves /metrics + pprof + expvar for the life of the
+// process, -metrics-dump writes a JSON registry snapshot (with the run
+// manifest attached) at shutdown, and -metrics-linger keeps the server up
+// after the work finishes so one-shot runs can still be scraped.
+type CLI struct {
+	Addr   string
+	Dump   string
+	Linger time.Duration
+
+	server   *Server
+	manifest *Manifest
+	registry *Registry
+}
+
+// RegisterFlags installs the shared metrics flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Addr, "metrics-addr", "", "serve /metrics, /metrics.json, /debug/pprof and /debug/vars on this address (e.g. :9090; empty = off)")
+	fs.StringVar(&c.Dump, "metrics-dump", "", "write a JSON metrics snapshot plus run manifest to this file at exit")
+	fs.DurationVar(&c.Linger, "metrics-linger", 0, "keep serving -metrics-addr this long after the run completes (for scrapers of one-shot runs)")
+}
+
+// Start begins serving when -metrics-addr was given, announcing the bound
+// address on stderr. The manifest is attached to the server's JSON
+// endpoints and the eventual dump. Call Stop when the run's work is done.
+func (c *CLI) Start(m *Manifest) error {
+	c.manifest = m
+	c.registry = Default()
+	if c.Addr == "" {
+		return nil
+	}
+	s, err := Serve(c.Addr, c.registry, m)
+	if err != nil {
+		return err
+	}
+	c.server = s
+	fmt.Fprintf(os.Stderr, "obs: metrics listening on http://%s/metrics\n", s.Addr())
+	return nil
+}
+
+// Stop finalizes the run: stamps the manifest's wall time, writes the
+// -metrics-dump snapshot, honors -metrics-linger, and closes the server.
+// Safe to call when Start was never reached past flag parsing.
+func (c *CLI) Stop() error {
+	if c.manifest != nil {
+		c.manifest.Finish()
+	}
+	var dumpErr error
+	if c.Dump != "" {
+		reg := c.registry
+		if reg == nil {
+			reg = Default()
+		}
+		f, err := os.Create(c.Dump)
+		if err != nil {
+			dumpErr = err
+		} else {
+			dumpErr = reg.WriteJSON(f, c.manifest)
+			if cerr := f.Close(); dumpErr == nil {
+				dumpErr = cerr
+			}
+		}
+	}
+	if c.server != nil {
+		if c.Linger > 0 {
+			fmt.Fprintf(os.Stderr, "obs: lingering %s on http://%s/metrics\n", c.Linger, c.server.Addr())
+			time.Sleep(c.Linger)
+		}
+		c.server.Close() //nolint:errcheck
+		c.server = nil
+	}
+	return dumpErr
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered family in the Prometheus text
+// exposition format (version 0.0.4): a HELP and TYPE header per family,
+// then one sample line per child (or per bucket, for histograms). Families
+// are emitted in name order and children in label-value order, so the
+// output for a fixed set of values is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedChildren snapshots the child list in label-value order.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	cs := append([]*child(nil), f.children...)
+	f.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool {
+		return labelKey(cs[i].values) < labelKey(cs[j].values)
+	})
+	return cs
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+		return err
+	}
+	for _, c := range f.sortedChildren() {
+		switch m := c.metric.(type) {
+		case *Counter:
+			if err := writeSample(w, f.name, "", f.labels, c.values, "", float64(m.Value())); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := writeSample(w, f.name, "", f.labels, c.values, "", m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			cum := int64(0)
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				if err := writeSample(w, f.name, "_bucket", f.labels, c.values, formatFloat(bound), float64(cum)); err != nil {
+					return err
+				}
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			if err := writeSample(w, f.name, "_bucket", f.labels, c.values, "+Inf", float64(cum)); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name, "_sum", f.labels, c.values, "", m.Sum()); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name, "_count", f.labels, c.values, "", float64(m.Count())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one sample line; le is the histogram bucket bound label
+// ("" for none).
+func writeSample(w io.Writer, name, suffix string, labels, values []string, le string, v float64) error {
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(l)
+			sb.WriteString(`="`)
+			sb.WriteString(escapeLabel(values[i]))
+			sb.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(`le="`)
+			sb.WriteString(le)
+			sb.WriteByte('"')
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatFloat(v))
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// formatFloat renders v the way Prometheus clients expect: shortest
+// round-trip representation, NaN/Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Snapshot is the JSON form of a registry's current state, the payload of
+// -metrics-dump files and the /metrics.json endpoint.
+type Snapshot struct {
+	// Manifest identifies the run the metrics belong to, when the caller
+	// attached one.
+	Manifest *Manifest        `json:"manifest,omitempty"`
+	Metrics  []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one family's state.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Labels []string         `json:"labels,omitempty"`
+	Values []SampleSnapshot `json:"values"`
+}
+
+// SampleSnapshot is one child's value.
+type SampleSnapshot struct {
+	LabelValues []string      `json:"label_values,omitempty"`
+	Value       float64       `json:"value"`
+	Histogram   *HistSnapshot `json:"histogram,omitempty"`
+}
+
+// HistSnapshot is a histogram child's bucket state. Counts are
+// per-bucket (not cumulative); the last entry is the +Inf overflow.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, f := range r.sortedFamilies() {
+		ms := MetricSnapshot{Name: f.name, Type: f.typ, Help: f.help, Labels: f.labels}
+		for _, c := range f.sortedChildren() {
+			s := SampleSnapshot{LabelValues: c.values}
+			switch m := c.metric.(type) {
+			case *Counter:
+				s.Value = float64(m.Value())
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				hs := &HistSnapshot{
+					Bounds: m.bounds,
+					Counts: make([]int64, len(m.counts)),
+					Sum:    m.Sum(),
+					Count:  m.Count(),
+				}
+				// Quantiles of an empty histogram are NaN (and of an empty
+				// bound set +Inf), neither of which JSON can carry.
+				if hs.Count > 0 && len(m.bounds) > 0 {
+					hs.P50 = m.Quantile(0.50)
+					hs.P95 = m.Quantile(0.95)
+				}
+				for i := range m.counts {
+					hs.Counts[i] = m.counts[i].Load()
+				}
+				s.Histogram = hs
+				s.Value = float64(hs.Count)
+			}
+			ms.Values = append(ms.Values, s)
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot (with the optional manifest attached) as
+// indented JSON.
+func (r *Registry) WriteJSON(w io.Writer, m *Manifest) error {
+	snap := r.Snapshot()
+	snap.Manifest = m
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

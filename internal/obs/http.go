@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the telemetry surface of one process: /metrics (Prometheus
+// text), /metrics.json (snapshot + manifest), /manifest.json, the full
+// net/http/pprof suite under /debug/pprof/, and expvar under /debug/vars.
+// This is the engine-state/telemetry split the dtrd daemon will grow from:
+// the serving side never touches engine internals, only the registry.
+type Server struct {
+	lis      net.Listener
+	srv      *http.Server
+	registry *Registry
+	manifest *Manifest
+}
+
+// Serve starts the telemetry server on addr (e.g. ":9090", "127.0.0.1:0").
+// The registry defaults to Default() when nil; the manifest may be nil.
+func Serve(addr string, r *Registry, m *Manifest) (*Server, error) {
+	if r == nil {
+		r = Default()
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	s := &Server{lis: lis, registry: r, manifest: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleSnapshot)
+	mux.HandleFunc("/manifest.json", s.handleManifest)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(lis) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry.WritePrometheus(w) //nolint:errcheck // client gone mid-write
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.registry.WriteJSON(w, s.manifest) //nolint:errcheck
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	if s.manifest == nil {
+		http.Error(w, "no manifest attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	line, err := s.manifest.JSONLine()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(line) //nolint:errcheck
+}

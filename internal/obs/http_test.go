@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "t").Add(7)
+	m := NewManifest("httptest", nil)
+	s, err := Serve("127.0.0.1:0", r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	for _, frag := range []string{"# HELP served_total", "# TYPE served_total counter", "served_total 7"} {
+		if !strings.Contains(body, frag) {
+			t.Fatalf("/metrics missing %q:\n%s", frag, body)
+		}
+	}
+
+	body, ctype = get("/metrics.json")
+	if ctype != "application/json" {
+		t.Fatalf("/metrics.json content type %q", ctype)
+	}
+	if !strings.Contains(body, `"served_total"`) || !strings.Contains(body, `"manifest"`) {
+		t.Fatalf("/metrics.json missing metric or manifest:\n%s", body)
+	}
+
+	body, _ = get("/manifest.json")
+	if !strings.Contains(body, `"command":"httptest"`) {
+		t.Fatalf("/manifest.json wrong payload: %s", body)
+	}
+
+	// The pprof index and expvar must be mounted.
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%.200s", body)
+	}
+	if body, _ = get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars missing memstats:\n%.200s", body)
+	}
+}

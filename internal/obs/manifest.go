@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ManifestSchemaVersion identifies the manifest layout; bump on breaking
+// field changes so downstream tooling can dispatch.
+const ManifestSchemaVersion = 1
+
+// Manifest identifies one CLI run: what ran, with which inputs, on which
+// toolchain and machine shape, from which commit. Every long-running command
+// attaches one to its JSONL/JSON outputs so results stay attributable after
+// the terminal scrollback is gone.
+type Manifest struct {
+	SchemaVersion int      `json:"schema_version"`
+	Command       string   `json:"command"`
+	Args          []string `json:"args,omitempty"`
+	StartedAt     string   `json:"started_at"` // RFC3339, UTC
+	// WallMs is filled by Finish at the end of the run; 0 while running.
+	WallMs float64 `json:"wall_ms,omitempty"`
+	// Seed and SpecHash pin the run's deterministic inputs, when it has any.
+	Seed     *uint64 `json:"seed,omitempty"`
+	SpecHash string  `json:"spec_hash,omitempty"`
+
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	PID        int    `json:"pid,omitempty"`
+
+	// GitSHA/GitDirty come from the binary's embedded VCS stamp; absent for
+	// `go run`/`go test` builds, which are not stamped.
+	GitSHA   string `json:"git_sha,omitempty"`
+	GitDirty bool   `json:"git_dirty,omitempty"`
+
+	start time.Time
+}
+
+// NewManifest builds a manifest for the named command, stamping the
+// environment and start time.
+func NewManifest(command string, args []string) *Manifest {
+	now := time.Now()
+	m := &Manifest{
+		SchemaVersion: ManifestSchemaVersion,
+		Command:       command,
+		Args:          args,
+		StartedAt:     now.UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		PID:           os.Getpid(),
+		start:         now,
+	}
+	m.GitSHA, m.GitDirty = vcsStamp()
+	return m
+}
+
+// SetSeed records the run's top-level seed.
+func (m *Manifest) SetSeed(seed uint64) { s := seed; m.Seed = &s }
+
+// Finish stamps the run's wall time and returns m for chaining.
+func (m *Manifest) Finish() *Manifest {
+	m.WallMs = float64(time.Since(m.start)) / float64(time.Millisecond)
+	return m
+}
+
+// JSONLine renders the manifest as a single JSON line wrapped in a
+// {"manifest": ...} envelope, the form prepended to JSONL streams so trial
+// records and the manifest can share a file without ambiguity.
+func (m *Manifest) JSONLine() ([]byte, error) {
+	data, err := json.Marshal(struct {
+		Manifest *Manifest `json:"manifest"`
+	}{m})
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// vcsStamp extracts the commit SHA and dirty bit from the binary's build
+// info, when the toolchain embedded one.
+func vcsStamp() (sha string, dirty bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			sha = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return sha, dirty
+}
+
+// SpecHash returns a short stable fingerprint of any JSON-marshalable value
+// — the campaign/instance spec hash recorded in manifests. Marshaling a Go
+// struct emits fields in declaration order, so equal specs hash equally.
+func SpecHash(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "test counter")
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				g.Add(1)
+				g.Add(-0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(goroutines*perG)*0.5; got != want {
+		t.Fatalf("gauge = %g, want %g", got, want)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(3)
+	g.SetMax(1)
+	g.SetMax(math.NaN()) // ignored
+	if got := g.Value(); got != 3 {
+		t.Fatalf("running max = %g, want 3", got)
+	}
+	g.SetMax(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("running max = %g, want 7", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	const goroutines, perG = 8, 6000 // perG divisible by the 6-value cycle
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%6) + 0.5) // 0.5 .. 5.5
+			}
+		}(k)
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if got := h.Count(); got != total {
+		t.Fatalf("count = %d, want %d", got, total)
+	}
+	// Values cycle 0.5,1.5,2.5,3.5,4.5,5.5: one sixth lands <=1, one sixth in
+	// (1,2], two sixths in (2,4], two sixths overflow.
+	want := []int64{total / 6, total / 6, total / 3, total / 3}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got, want := h.Sum(), 3.0*total; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %g, want 1", got)
+	}
+	if got := h.Quantile(0.95); got != 100 {
+		t.Fatalf("p95 = %g, want 100", got)
+	}
+	empty := newHistogram([]float64{1})
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty-histogram quantile = %g, want NaN", got)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format: header lines,
+// label rendering, cumulative histogram buckets, deterministic ordering.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta_total", "Last alphabetically, emitted last.").Add(9)
+	cv := r.CounterVec("requests_total", "Requests by verb.", "verb")
+	cv.With("get").Add(3)
+	cv.With("put").Add(1)
+	r.Gauge("workers_busy", "Busy workers.").Set(2.5)
+	// Dyadic observations keep the _sum exactly representable, so the golden
+	// string is stable.
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(4)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 4.5625
+latency_seconds_count 3
+# HELP requests_total Requests by verb.
+# TYPE requests_total counter
+requests_total{verb="get"} 3
+requests_total{verb="put"} 1
+# HELP workers_busy Busy workers.
+# TYPE workers_busy gauge
+workers_busy 2.5
+# HELP zeta_total Last alphabetically, emitted last.
+# TYPE zeta_total counter
+zeta_total 9
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(4)
+	h := r.Histogram("h_seconds", "h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 2 {
+		t.Fatalf("snapshot has %d families, want 2", len(snap.Metrics))
+	}
+	hs := snap.Metrics[1].Values[0].Histogram
+	if hs == nil {
+		t.Fatal("histogram snapshot missing")
+	}
+	if got, want := hs.Counts, []int64{1, 1, 1}; len(got) != len(want) {
+		t.Fatalf("bucket counts %v, want %v", got, want)
+	}
+	if hs.Count != 3 || hs.Sum != 11 {
+		t.Fatalf("count/sum = %d/%g, want 3/11", hs.Count, hs.Sum)
+	}
+	if hs.P50 != 2 { // rank 2 of 3 lands in the (1,2] bucket
+		t.Fatalf("p50 = %g, want 2", hs.P50)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb, NewManifest("test", nil)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{`"manifest"`, `"a_total"`, `"h_seconds"`, `"schema_version": 1`} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("WriteJSON output missing %s:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRegistryConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestManifest(t *testing.T) {
+	m := NewManifest("testcmd", []string{"-flag"})
+	m.SetSeed(42)
+	m.SpecHash = SpecHash(struct{ A int }{1})
+	if m.SpecHash == "" || len(m.SpecHash) != 16 {
+		t.Fatalf("spec hash %q, want 16 hex chars", m.SpecHash)
+	}
+	if SpecHash(struct{ A int }{1}) != m.SpecHash {
+		t.Fatal("equal specs hash unequally")
+	}
+	if SpecHash(struct{ A int }{2}) == m.SpecHash {
+		t.Fatal("different specs hash equally")
+	}
+	m.Finish()
+	line, err := m.JSONLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(line)
+	if !strings.HasPrefix(s, `{"manifest":{`) || !strings.HasSuffix(s, "\n") {
+		t.Fatalf("manifest line framing wrong: %q", s)
+	}
+	for _, frag := range []string{`"command":"testcmd"`, `"seed":42`, `"go_version"`, `"gomaxprocs"`} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("manifest line missing %s: %s", frag, s)
+		}
+	}
+}
+
+// TestObserveAllocFree pins the hot-path contract: updates on resolved
+// handles never allocate.
+func TestObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("alloc_total", "t", "k").With("v")
+	g := r.Gauge("alloc_gauge", "t")
+	h := r.Histogram("alloc_seconds", "t", DefBuckets)
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		g.Add(0.5)
+		g.SetMax(3)
+		h.Observe(0.01)
+	}); allocs != 0 {
+		t.Fatalf("metric updates allocate %.1f objects per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import "time"
+
+// SpanTimer measures one phase of work into a histogram of seconds. Start a
+// timer with StartSpan (or Histogram-first via Time), do the work, then call
+// Stop — the elapsed time is observed into the histogram and returned.
+//
+//	defer obs.Time(buildSeconds).Stop()
+//
+// A SpanTimer is a value, not a pointer: starting and stopping one performs
+// no allocation, so spans can wrap hot phases freely.
+type SpanTimer struct {
+	start time.Time
+	h     *Histogram
+}
+
+// Time starts a span recording into h.
+func Time(h *Histogram) SpanTimer {
+	return SpanTimer{start: time.Now(), h: h}
+}
+
+// Stop observes the elapsed seconds into the span's histogram (when one is
+// attached) and returns the elapsed duration. Safe on a zero SpanTimer.
+func (t SpanTimer) Stop() time.Duration {
+	d := time.Since(t.start)
+	if t.h != nil {
+		t.h.Observe(d.Seconds())
+	}
+	return d
+}

@@ -1,0 +1,34 @@
+package resilience
+
+import "dualtopo/internal/obs"
+
+// Sweep telemetry, shared by every sweeper in the process. Handles are
+// pre-resolved so per-state updates are single atomic adds; the worst-case
+// gauge is a running max over every sweep since process start.
+var met = struct {
+	sweeps       *obs.Counter
+	statesOK     *obs.Counter
+	statesDisc   *obs.Counter
+	sweepSeconds *obs.Histogram
+	worstDegr    *obs.Gauge
+}{
+	sweeps:       obs.Default().Counter("resilience_sweeps_total", "Failure sweeps executed."),
+	statesOK:     obs.Default().CounterVec("resilience_states_total", "Failure states evaluated, by outcome.", "outcome").With("survived"),
+	statesDisc:   obs.Default().CounterVec("resilience_states_total", "Failure states evaluated, by outcome.", "outcome").With("disconnected"),
+	sweepSeconds: obs.Default().Histogram("resilience_sweep_seconds", "Wall-clock duration of one failure sweep.", obs.ExpBuckets(1e-4, 10, 9)),
+	worstDegr:    obs.Default().Gauge("resilience_worst_degradation", "Worst ΦL degradation factor (failed/intact) seen by any sweep."),
+}
+
+// recordSweep folds one finished sweep into the process-wide telemetry.
+func recordSweep(sw *Sweep, seconds float64) {
+	met.sweeps.Inc()
+	met.statesOK.Add(int64(sw.Survivors))
+	met.statesDisc.Add(int64(sw.Disconnecting))
+	met.sweepSeconds.Observe(seconds)
+	if sw.Base > 0 {
+		for _, phiL := range sw.PhiL {
+			// NaN (disconnecting states) is ignored by SetMax.
+			met.worstDegr.SetMax(phiL / sw.Base)
+		}
+	}
+}

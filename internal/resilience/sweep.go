@@ -3,6 +3,7 @@ package resilience
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"dualtopo/internal/cost"
 	"dualtopo/internal/eval"
@@ -230,6 +231,7 @@ func (s *Sweeper) fullPhiL(dual bool, wH, wL spf.Weights) (float64, error) {
 // sweepFull is the opt-out path: every state is a from-scratch evaluation on
 // WithFailedArcs copies, exactly what the pre-delta failure sweep did.
 func (s *Sweeper) sweepFull(states []State, wH, wL spf.Weights, dual bool) (*Sweep, error) {
+	start := time.Now()
 	base, err := s.fullPhiL(dual, wH, wL)
 	if err != nil {
 		return nil, err
@@ -250,12 +252,14 @@ func (s *Sweeper) sweepFull(states []State, wH, wL spf.Weights, dual bool) (*Swe
 		sw.PhiL[i] = phiL
 		sw.Survivors++
 	}
+	recordSweep(sw, time.Since(start).Seconds())
 	return sw, nil
 }
 
 // sweepDelta is the fast path: pin the base routing, then per state disable
 // the arcs, re-reduce ΦL over the moved arcs, and repair.
 func (s *Sweeper) sweepDelta(en *sweepEngine, wH, wL spf.Weights, states []State) (*Sweep, error) {
+	start := time.Now()
 	if err := s.move(en, wH, wL); err != nil {
 		return nil, err
 	}
@@ -290,6 +294,7 @@ func (s *Sweeper) sweepDelta(en *sweepEngine, wH, wL spf.Weights, states []State
 			}
 		}
 	}
+	recordSweep(sw, time.Since(start).Seconds())
 	return sw, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"dualtopo/internal/eval"
 	"dualtopo/internal/graph"
+	"dualtopo/internal/obs"
 	"dualtopo/internal/resilience"
 	"dualtopo/internal/search"
 )
@@ -90,6 +91,10 @@ type CampaignResult struct {
 	Points []PointSummary `json:"points"`
 	// ElapsedMs is wall-clock execution time.
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// TrialLatency aggregates per-trial wall-clock durations (ms) across the
+	// whole campaign. Timing, so — like ElapsedMs — it is excluded from the
+	// deterministic aggregates payload (AggregatesJSON).
+	TrialLatency Aggregate `json:"trial_latency_ms"`
 }
 
 // Run executes the campaign: it normalizes and validates the spec, expands
@@ -152,6 +157,9 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 			}
 			emitted++
 		}
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+			met.rate.Set(float64(done+1) / elapsed)
+		}
 		if opts.OnProgress != nil {
 			opts.OnProgress(Progress{Done: done + 1, Total: len(items), Elapsed: time.Since(start)})
 		}
@@ -163,17 +171,27 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 		}
 	}
 
+	aggSpan := obs.Time(met.phaseAgg)
+	points := summarizePoints(spec, results)
+	aggSpan.Stop()
+	latencies := make([]float64, len(results))
+	for i, tr := range results {
+		latencies[i] = tr.ElapsedMs
+	}
 	return &CampaignResult{
-		Spec:      spec,
-		Trials:    results,
-		Points:    summarizePoints(spec, results),
-		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+		Spec:         spec,
+		Trials:       results,
+		Points:       points,
+		ElapsedMs:    float64(time.Since(start)) / float64(time.Millisecond),
+		TrialLatency: aggregate(latencies),
 	}, nil
 }
 
 // runTrial optimizes one work item and condenses it into a TrialResult.
 // routeWorkers sizes the SPF pool of the trial's full evaluations.
 func runTrial(spec Spec, it WorkItem, b Budget, routeWorkers int) (TrialResult, error) {
+	met.busy.Add(1)
+	defer met.busy.Add(-1)
 	start := time.Now()
 	pt, err := RunPoint(it.Spec, b)
 	if err != nil {
@@ -193,6 +211,7 @@ func runTrial(spec Spec, it WorkItem, b Budget, routeWorkers int) (TrialResult, 
 	}
 	tr.Robust = pt.DTR.Robust
 	if spec.Failures.Enabled() {
+		sweepSpan := obs.Time(met.phaseSweep)
 		model := spec.Failures.Model(it.Spec.Seed)
 		states, err := resilience.Enumerate(pt.Inst.G, model)
 		if err != nil {
@@ -208,7 +227,11 @@ func runTrial(spec Spec, it WorkItem, b Budget, routeWorkers int) (TrialResult, 
 			return TrialResult{}, err
 		}
 		tr.Failures = fs.Summary(model.String())
+		sweepSpan.Stop()
 	}
-	tr.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	elapsed := time.Since(start)
+	met.trialSec.Observe(elapsed.Seconds())
+	met.trials.Inc()
+	tr.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
 	return tr, nil
 }

@@ -129,6 +129,23 @@ func TestRunShapeAndCallbacks(t *testing.T) {
 	if res.SummaryTable() == "" {
 		t.Fatal("empty summary table")
 	}
+	// Every trial records its wall-clock duration and the campaign
+	// aggregates them: the p50/p95 must bracket real observed latencies.
+	minMs, maxMs := res.Trials[0].ElapsedMs, res.Trials[0].ElapsedMs
+	for _, tr := range res.Trials {
+		if tr.ElapsedMs <= 0 {
+			t.Fatalf("trial %d/%d has no elapsed time", tr.Point, tr.Trial)
+		}
+		minMs = min(minMs, tr.ElapsedMs)
+		maxMs = max(maxMs, tr.ElapsedMs)
+	}
+	lat := res.TrialLatency
+	if lat.P50 < minMs || lat.P50 > maxMs || lat.P95 < minMs || lat.P95 > maxMs {
+		t.Fatalf("trial latency aggregate %+v outside observed range [%g, %g]", lat, minMs, maxMs)
+	}
+	if lat.P95 < lat.P50 || lat.Mean <= 0 {
+		t.Fatalf("inconsistent trial latency aggregate %+v", lat)
+	}
 }
 
 // TestRunWithFailures checks the failure sweep feeds trial records and

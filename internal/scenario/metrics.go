@@ -1,0 +1,34 @@
+package scenario
+
+import "dualtopo/internal/obs"
+
+// Engine telemetry, shared by every campaign in the process. Handles are
+// pre-resolved at init so per-trial updates never allocate; histograms are
+// sampled only at phase boundaries (milliseconds apart), so the cost is
+// negligible next to the searches they time.
+var met = struct {
+	trials     *obs.Counter
+	busy       *obs.Gauge
+	rate       *obs.Gauge
+	trialSec   *obs.Histogram
+	phaseBuild *obs.Histogram
+	phaseSTR   *obs.Histogram
+	phaseDTR   *obs.Histogram
+	phaseSweep *obs.Histogram
+	phaseAgg   *obs.Histogram
+}{
+	trials:     obs.Default().Counter("scenario_trials_total", "Completed campaign trials."),
+	busy:       obs.Default().Gauge("scenario_workers_busy", "Trial workers currently executing a trial."),
+	rate:       obs.Default().Gauge("scenario_trials_per_second", "Campaign throughput over the run so far."),
+	trialSec:   obs.Default().Histogram("scenario_trial_seconds", "Wall-clock duration of one trial.", obs.ExpBuckets(1e-3, 10, 8)),
+	phaseBuild: phaseHist("build"),
+	phaseSTR:   phaseHist("search_str"),
+	phaseDTR:   phaseHist("search_dtr"),
+	phaseSweep: phaseHist("sweep"),
+	phaseAgg:   phaseHist("aggregate"),
+}
+
+func phaseHist(phase string) *obs.Histogram {
+	return obs.Default().HistogramVec("scenario_phase_seconds",
+		"Wall-clock duration of one trial phase.", obs.ExpBuckets(1e-4, 10, 9), "phase").With(phase)
+}

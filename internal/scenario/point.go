@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"dualtopo/internal/eval"
+	"dualtopo/internal/obs"
 	"dualtopo/internal/resilience"
 	"dualtopo/internal/search"
 )
@@ -80,17 +81,21 @@ type Point struct {
 // search-budget artifacts from the STR/DTR comparison (the paper's premise
 // is that DTR strictly generalizes STR).
 func RunPoint(spec InstanceSpec, b Budget) (*Point, error) {
+	buildSpan := obs.Time(met.phaseBuild)
 	inst, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
 	e, err := inst.Evaluator()
+	buildSpan.Stop()
 	if err != nil {
 		return nil, err
 	}
 	strParams := b.STR
 	strParams.Seed = spec.Seed*2 + 1
+	strSpan := obs.Time(met.phaseSTR)
 	strRes, err := search.STR(e, strParams)
+	strSpan.Stop()
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +108,9 @@ func RunPoint(spec InstanceSpec, b Budget) (*Point, error) {
 		}
 		dtrParams.Robust = search.RobustParams{States: states, Alpha: robustAlpha, Beta: robustBeta}
 	}
+	dtrSpan := obs.Time(met.phaseDTR)
 	dtrRes, err := search.DTRFrom(e, strRes.W, strRes.W, dtrParams)
+	dtrSpan.Stop()
 	if err != nil {
 		return nil, err
 	}

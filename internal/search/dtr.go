@@ -52,21 +52,21 @@ func DTRFrom(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*DTRResult, err
 	}
 
 	// Routine 1 (lines 3-12): optimize WH with WL held at its initial value.
-	s.runRoutine(p.N, s.stepFindH, func() { s.noteHChange(s.perturb(s.wH, p.G1)) })
+	s.runRoutine(1, "findH", p.N, s.stepFindH, func() { s.noteHChange(s.perturb(s.wH, p.G1)) })
 
 	// Routine 2 (lines 13-24): fix WH at the best found, optimize WL.
 	s.adoptBest()
 	if err := s.refreshFull(); err != nil {
 		return nil, err
 	}
-	s.runRoutine(p.N, s.stepFindL, func() { s.noteLChange(s.perturb(s.wL, p.G2)) })
+	s.runRoutine(2, "findL", p.N, s.stepFindL, func() { s.noteLChange(s.perturb(s.wL, p.G2)) })
 
 	// Routine 3 (lines 25-38): joint refinement around W*.
 	s.adoptBest()
 	if err := s.refreshFull(); err != nil {
 		return nil, err
 	}
-	s.runRoutine(p.K, s.stepRefine, func() {
+	s.runRoutine(3, "refine", p.K, s.stepRefine, func() {
 		s.adoptBest()
 		s.noteHChange(s.perturb(s.wH, p.G3))
 		s.noteLChange(s.perturb(s.wL, p.G3))
@@ -130,7 +130,16 @@ type dtrSearch struct {
 
 	pool  []*eval.Evaluator // per-worker evaluators; pool[0] == e
 	evals int64
-	err   error
+	// deltaEvals/fullEvals split evals between the incremental candidate
+	// paths and from-scratch evaluations — the ratio the trajectory trace
+	// reports. Both are updated only from the coordinating goroutine, so
+	// they are deterministic.
+	deltaEvals, fullEvals int64
+	// stepCands/stepAccepted describe the current step for the trace: how
+	// many candidates were evaluated and whether a move was accepted.
+	stepCands    int
+	stepAccepted bool
+	err          error
 
 	// Failure-aware scoring state (see robust.go): per-worker sweep engines,
 	// the filtered failure set, per-candidate penalties, and the additive
@@ -208,6 +217,8 @@ func (s *dtrSearch) refreshFull() error {
 		return err
 	}
 	s.evals++
+	s.fullEvals++
+	searchMet.evalsFull.Inc()
 	s.cur = r
 	s.curLex = r.Objective()
 	if s.robust() {
@@ -220,17 +231,26 @@ func (s *dtrSearch) refreshFull() error {
 
 // runRoutine executes one of Algorithm 1's three while-loops: step is the
 // per-iteration move (FindH, FindL, or both), diversify is the escape
-// action taken after M iterations without improving the incumbent.
-func (s *dtrSearch) runRoutine(iterations int, step func() bool, diversify func()) {
+// action taken after M iterations without improving the incumbent. Every
+// iteration (and every diversification) emits one trace event.
+func (s *dtrSearch) runRoutine(routine int, kind string, iterations int, step func() bool, diversify func()) {
 	if s.err != nil {
 		return
 	}
+	iters := iterCounter(kind)
 	sinceImprove := 0
 	for iter := 0; iter < iterations; iter++ {
+		s.stepCands = 0
+		s.stepAccepted = false
 		improvedBest := step()
 		if s.err != nil {
 			return
 		}
+		iters.Inc()
+		if s.stepAccepted {
+			searchMet.accepts.Inc()
+		}
+		s.emit(routine, iter, kind, improvedBest)
 		if improvedBest {
 			sinceImprove = 0
 		} else {
@@ -242,9 +262,35 @@ func (s *dtrSearch) runRoutine(iterations int, step func() bool, diversify func(
 				s.err = err
 				return
 			}
+			searchMet.perturbs.Inc()
+			s.stepCands = 0
+			s.stepAccepted = false
+			s.emit(routine, iter, "perturb", false)
 			sinceImprove = 0
 		}
 	}
+}
+
+// emit delivers one trace event to the OnEvent hook. Called only from the
+// coordinating goroutine, after the step's state is final.
+func (s *dtrSearch) emit(routine, iter int, kind string, improved bool) {
+	if s.p.OnEvent == nil {
+		return
+	}
+	s.p.OnEvent(TraceEvent{
+		Routine:     routine,
+		Iter:        iter,
+		Kind:        kind,
+		Accepted:    s.stepAccepted,
+		Improved:    improved,
+		Candidates:  s.stepCands,
+		PhiH:        s.cur.PhiH,
+		PhiL:        s.cur.PhiL,
+		BestPrimary: s.bestLex.Primary,
+		BestPhiL:    s.bestLex.Secondary,
+		DeltaEvals:  s.deltaEvals,
+		FullEvals:   s.fullEvals,
+	})
 }
 
 // betterThanBest compares the incumbent against the best-known solution
@@ -385,6 +431,9 @@ func (s *dtrSearch) findH() bool {
 		return false
 	}
 	s.evals++
+	s.fullEvals++
+	searchMet.evalsFull.Inc()
+	s.stepAccepted = true
 	if s.p.VerifyDelta && !s.p.FullEval && lexes[bestIdx] != r.Objective() {
 		s.err = fmt.Errorf("search: delta/full mismatch on FindH accept: delta %+v, full %+v",
 			lexes[bestIdx], r.Objective())
@@ -450,6 +499,9 @@ func (s *dtrSearch) findL() bool {
 		return false
 	}
 	s.evals++
+	s.fullEvals++
+	searchMet.evalsFull.Inc()
+	s.stepAccepted = true
 	if s.p.VerifyDelta && !s.p.FullEval && phiLs[bestIdx] != r.PhiL {
 		s.err = fmt.Errorf("search: delta/full mismatch on FindL accept: delta ΦL %v, full %v",
 			phiLs[bestIdx], r.PhiL)
@@ -552,6 +604,14 @@ func (s *dtrSearch) evalCandidates(cands []spf.Weights, fn func(worker, idx int,
 		wg.Wait()
 	}
 	s.evals += int64(len(cands))
+	s.stepCands += len(cands)
+	if s.p.FullEval {
+		s.fullEvals += int64(len(cands))
+		searchMet.evalsFull.Add(int64(len(cands)))
+	} else {
+		s.deltaEvals += int64(len(cands))
+		searchMet.evalsDelta.Add(int64(len(cands)))
+	}
 	for _, err := range errs {
 		if err != nil {
 			s.err = err

@@ -89,6 +89,13 @@ type Params struct {
 	// Robust configures failure-aware candidate scoring; the zero value
 	// keeps the search purely nominal.
 	Robust RobustParams
+	// OnEvent, when non-nil, receives one TraceEvent per search step —
+	// iterations, accepts, diversification perturbations — from the search's
+	// coordinating goroutine (never concurrently). The event stream is a
+	// deterministic function of the search inputs: identical at any Workers
+	// or RouteWorkers setting. Wrap a TraceWriter around a file to stream
+	// the trajectory as JSONL.
+	OnEvent func(TraceEvent)
 }
 
 // Defaults returns the paper's parameter settings (§5.1.3).

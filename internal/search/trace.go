@@ -1,0 +1,98 @@
+package search
+
+import (
+	"encoding/json"
+	"io"
+
+	"dualtopo/internal/obs"
+)
+
+// TraceEvent is one step of a search trajectory: which routine and
+// iteration ran, what kind of move was tried, whether it was accepted into
+// the incumbent and whether it improved the best-known solution, the
+// incumbent objective after the step, and the cumulative delta-vs-full
+// evaluation split. Every field is a deterministic function of the search
+// inputs — the same spec and seed produce an identical event stream at any
+// Workers or RouteWorkers setting — so traces diff cleanly across runs.
+type TraceEvent struct {
+	// Routine is Algorithm 1's phase: 1 (FindH), 2 (FindL), 3 (refine).
+	Routine int `json:"routine"`
+	// Iter is the zero-based iteration within the routine.
+	Iter int `json:"iter"`
+	// Kind is the move type: "findH", "findL", "refine", or "perturb"
+	// (diversification after M stale iterations).
+	Kind string `json:"kind"`
+	// Accepted reports whether the move replaced the incumbent weights.
+	Accepted bool `json:"accepted"`
+	// Improved reports whether the step produced a new best-known solution.
+	Improved bool `json:"improved"`
+	// Candidates is the number of neighbor settings evaluated this step.
+	Candidates int `json:"candidates"`
+	// PhiH and PhiL are the incumbent's class costs after the step.
+	PhiH float64 `json:"phi_h"`
+	PhiL float64 `json:"phi_l"`
+	// BestPrimary and BestPhiL are the best-known lexicographic objective
+	// after the step; Primary is ΦH for load-based searches, Λ for SLA.
+	BestPrimary float64 `json:"best_primary"`
+	BestPhiL    float64 `json:"best_phi_l"`
+	// DeltaEvals and FullEvals split the cumulative evaluation count between
+	// the incremental and from-scratch paths.
+	DeltaEvals int64 `json:"delta_evals"`
+	FullEvals  int64 `json:"full_evals"`
+}
+
+// TraceWriter emits TraceEvents as JSON lines. Encoding is deterministic
+// (fixed field order, shortest float form), so a trace is byte-identical
+// across runs of the same seeded search.
+type TraceWriter struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewTraceWriter returns a JSONL tracer over w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{enc: json.NewEncoder(w)}
+}
+
+// OnEvent is the Params.OnEvent hook: it encodes the event, retaining the
+// first write error.
+func (t *TraceWriter) OnEvent(ev TraceEvent) {
+	if t.err == nil {
+		t.err = t.enc.Encode(ev)
+	}
+}
+
+// Err returns the first error encountered while writing the trace.
+func (t *TraceWriter) Err() error { return t.err }
+
+// Search-level telemetry, shared by every search in the process. Handles
+// are pre-resolved so the per-iteration updates are pure atomic adds.
+var searchMet = struct {
+	iterFindH  *obs.Counter
+	iterFindL  *obs.Counter
+	iterRefine *obs.Counter
+	accepts    *obs.Counter
+	perturbs   *obs.Counter
+	evalsDelta *obs.Counter
+	evalsFull  *obs.Counter
+}{
+	iterFindH:  obs.Default().CounterVec("search_iterations_total", "DTR search iterations, by move kind.", "kind").With("findH"),
+	iterFindL:  obs.Default().CounterVec("search_iterations_total", "DTR search iterations, by move kind.", "kind").With("findL"),
+	iterRefine: obs.Default().CounterVec("search_iterations_total", "DTR search iterations, by move kind.", "kind").With("refine"),
+	accepts:    obs.Default().Counter("search_accepts_total", "DTR search moves accepted into the incumbent."),
+	perturbs:   obs.Default().Counter("search_perturbations_total", "DTR search diversification perturbations."),
+	evalsDelta: obs.Default().CounterVec("search_evaluations_total", "Objective evaluations, by path.", "path").With("delta"),
+	evalsFull:  obs.Default().CounterVec("search_evaluations_total", "Objective evaluations, by path.", "path").With("full"),
+}
+
+// iterCounter maps a move kind to its pre-resolved iteration counter.
+func iterCounter(kind string) *obs.Counter {
+	switch kind {
+	case "findH":
+		return searchMet.iterFindH
+	case "findL":
+		return searchMet.iterFindL
+	default:
+		return searchMet.iterRefine
+	}
+}

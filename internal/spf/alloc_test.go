@@ -80,6 +80,62 @@ func TestMultiPlanRouteZeroSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+func TestDeltaApplyZeroSteadyStateAllocs(t *testing.T) {
+	g, w, tm := allocInstance(t)
+	dr := NewDeltaRouter(g, tm)
+	if err := dr.Route(w); err != nil {
+		t.Fatal(err)
+	}
+	w2 := w.Clone()
+	changed := []graph.EdgeID{5}
+	// Warm both directions of the single-arc toggle so supports, dirty lists
+	// and the sampled-metrics path have all grown to steady state.
+	for i := 0; i < 2*metricsSampleRate; i++ {
+		w2[5] = 3 + (i & 1)
+		if _, err := dr.Apply(w2, changed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The instrumented incremental path — counters, sampled histograms and
+	// all — must stay allocation-free.
+	i := 0
+	if allocs := testing.AllocsPerRun(50, func() {
+		w2[5] = 3 + (i & 1)
+		i++
+		if _, err := dr.Apply(w2, changed); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("DeltaRouter.Apply allocates %.1f objects per warm run, want 0", allocs)
+	}
+}
+
+func TestCheckpointRevertZeroSteadyStateAllocs(t *testing.T) {
+	g, w, tm := allocInstance(t)
+	dr := NewDeltaRouter(g, tm)
+	if err := dr.Route(w); err != nil {
+		t.Fatal(err)
+	}
+	w2 := w.Clone()
+	w2[7] = Disabled
+	changed := []graph.EdgeID{7}
+	cycle := func() {
+		if err := dr.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dr.Apply(w2, changed); err != nil {
+			t.Fatal(err)
+		}
+		dr.Revert()
+	}
+	for i := 0; i < 2*metricsSampleRate; i++ {
+		cycle() // warm the checkpoint pre-image buffers
+	}
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Fatalf("Checkpoint/Apply/Revert allocates %.1f objects per warm run, want 0", allocs)
+	}
+}
+
 func TestTreeIncreaseZeroSteadyStateAllocs(t *testing.T) {
 	g, w, _ := allocInstance(t)
 	c := NewComputer(g)

@@ -246,6 +246,7 @@ func (r *DeltaRouter) Route(w Weights) error {
 	r.valid = false
 	r.cpActive = false // wholesale rewrite: any checkpoint is stale
 	r.stats.FullRoutes++
+	met.fullRoutes.Inc()
 	for mi := range r.Loads {
 		loads := r.Loads[mi]
 		for a := range loads {
@@ -313,6 +314,7 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 	}
 	r.changedBuf = actual
 	r.stats.Applies++
+	met.applies.Inc()
 	for di := range r.dirty {
 		r.dirty[di] = false
 	}
@@ -346,6 +348,9 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 	}
 	r.stats.TreesRecomputed += int64(len(r.dirtyList))
 	r.stats.TreesReused += int64(len(r.dests) - len(r.dirtyList))
+	met.recomputed.Add(int64(len(r.dirtyList)))
+	met.reused.Add(int64(len(r.dests) - len(r.dirtyList)))
+	sampleApplySizes(len(r.dirtyList), len(actual))
 	if len(r.dirtyList) == 0 {
 		r.moved = r.moved[:0]
 		return r.moved, nil
@@ -381,6 +386,7 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 		if pureInc {
 			r.comp.TreeIncrease(r.w, t, actual)
 			r.stats.TreesPartial++
+			met.treePartial.Inc()
 		} else {
 			r.comp.tree(r.dests[di], r.w, t, maxW)
 		}
@@ -481,6 +487,7 @@ func (r *DeltaRouter) Checkpoint() error {
 	}
 	r.cpSavedList = r.cpSavedList[:0]
 	r.cpActive = true
+	met.checkpoints.Inc()
 	return nil
 }
 
@@ -525,6 +532,7 @@ func (r *DeltaRouter) Revert() {
 		return
 	}
 	r.stats.Reverts++
+	met.reverts.Inc()
 	for _, di := range r.cpSavedList {
 		ds := &r.cpDest[di]
 		t := &r.trees[di]

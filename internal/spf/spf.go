@@ -197,8 +197,10 @@ func (c *Computer) tree(dest graph.NodeID, w Weights, t *Tree, maxW int) {
 	// distance from u to dest in the forward graph. Bounded integer weights
 	// route through the bucket queue; wide ranges fall back to the heap.
 	if maxW <= maxBucketWeight {
+		met.treeBucket.Inc()
 		c.dijkstraBucket(w, t, maxW)
 	} else {
+		met.treeHeap.Inc()
 		c.dijkstraHeap(w, t)
 	}
 

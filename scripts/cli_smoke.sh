@@ -43,9 +43,53 @@ echo "== dtrscen: run a new-family example campaign (1 trial per load point)"
 "$bin/dtrscen" run -trials 1 -quiet examples/campaigns/waxman-load.json >"$bin/waxman.jsonl"
 test -s "$bin/waxman.jsonl"
 
+echo "== dtrscen: manifest line leads the trial stream"
+head -1 "$bin/tiny.jsonl" | grep -q '"manifest"' || {
+  echo "FAIL: tiny.jsonl does not start with a run manifest"; exit 1; }
+head -1 "$bin/tiny.jsonl" | grep -q '"spec_hash"' || {
+  echo "FAIL: run manifest lacks a spec hash"; exit 1; }
+
+echo "== dtrscen: serve /metrics during a run and scrape it"
+"$bin/dtrscen" run -preset tiny -trials 1 -quiet \
+  -metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+  -metrics-dump "$bin/metrics.json" >"$bin/obs.jsonl" 2>"$bin/obs.stderr" &
+scen_pid=$!
+metrics_url=""
+for _ in $(seq 1 100); do
+  metrics_url="$(sed -n 's#^obs: metrics listening on \(http://[^ ]*\)$#\1#p' "$bin/obs.stderr" | head -1)"
+  [ -n "$metrics_url" ] && break
+  kill -0 "$scen_pid" 2>/dev/null || { cat "$bin/obs.stderr"; echo "FAIL: dtrscen exited before announcing metrics"; exit 1; }
+  sleep 0.1
+done
+[ -n "$metrics_url" ] || { cat "$bin/obs.stderr"; echo "FAIL: metrics address never announced"; exit 1; }
+scrape="$(curl -sf "$metrics_url")"
+echo "$scrape" | grep -q '^# TYPE scenario_trials_total counter$' || {
+  echo "FAIL: /metrics exposition missing scenario_trials_total TYPE header"; exit 1; }
+echo "$scrape" | grep -q '^# TYPE spf_delta_applies_total counter$' || {
+  echo "FAIL: /metrics exposition missing spf metrics"; exit 1; }
+curl -sf "${metrics_url%/metrics}/debug/pprof/" | grep -q goroutine || {
+  echo "FAIL: pprof index not served"; exit 1; }
+curl -sf "${metrics_url%/metrics}/manifest.json" | grep -q '"command":"dtrscen run"' || {
+  echo "FAIL: manifest endpoint not served"; exit 1; }
+kill "$scen_pid" 2>/dev/null || true
+wait "$scen_pid" 2>/dev/null || true
+
+echo "== dtrscen: -metrics-dump snapshot with manifest"
+"$bin/dtrscen" run -preset tiny -trials 1 -quiet -metrics-dump "$bin/dump.json" >/dev/null
+grep -q '"scenario_trials_total"' "$bin/dump.json" || {
+  echo "FAIL: metrics dump missing scenario_trials_total"; exit 1; }
+grep -q '"manifest"' "$bin/dump.json" || {
+  echo "FAIL: metrics dump missing run manifest"; exit 1; }
+
 echo "== dtropt: optimize the imported Abilene topology at the tiny budget"
-"$bin/dtropt" -budget tiny -graph "$bin/import.json" -json "$bin/weights.json" >/dev/null
+"$bin/dtropt" -budget tiny -graph "$bin/import.json" -json "$bin/weights.json" \
+  -trace "$bin/trace.jsonl" >/dev/null
 test -s "$bin/weights.json"
+grep -q '"manifest"' "$bin/weights.json" || {
+  echo "FAIL: dtropt -json output missing run manifest"; exit 1; }
+test -s "$bin/trace.jsonl"
+head -1 "$bin/trace.jsonl" | grep -q '"kind"' || {
+  echo "FAIL: dtropt -trace output is not a trajectory event stream"; exit 1; }
 
 echo "== dtrfail: sampled single-link sweep at the tiny budget"
 "$bin/dtrfail" -budget tiny -kind link -sample 4 >/dev/null
