@@ -13,7 +13,7 @@
 // Usage:
 //
 //	go run ./cmd/dtrbench -o bench_new.json
-//	go run ./cmd/benchgate -baseline BENCH_PR4.json -current bench_new.json
+//	go run ./cmd/benchgate -baseline BENCH_PR7.json -current bench_new.json
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
-	baseline := flag.String("baseline", "BENCH_PR4.json", "committed baseline report")
+	baseline := flag.String("baseline", "BENCH_PR7.json", "committed baseline report")
 	current := flag.String("current", "", "freshly generated report to gate")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
 	flag.Parse()

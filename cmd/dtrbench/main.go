@@ -1,5 +1,5 @@
 // Command dtrbench runs the canonical dualtopo benchmark set and emits a
-// machine-readable JSON report (default BENCH_PR4.json) so the performance
+// machine-readable JSON report (default BENCH_PR7.json) so the performance
 // trajectory of the routing core is tracked across PRs: per-benchmark
 // ns/op, bytes/op, allocs/op, and any extra metrics (full/delta speedup,
 // experiment peakRL). CI runs it on every push and uploads the report as an
@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/dtrbench [-o BENCH_PR4.json] [-benchtime 1s] [-quick]
+//	go run ./cmd/dtrbench [-o BENCH_PR7.json] [-benchtime 1s] [-quick]
 package main
 
 import (
@@ -34,7 +34,7 @@ type (
 
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("o", "BENCH_PR4.json", "output report path ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR7.json", "output report path ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
 	quick := flag.Bool("quick", false, "skip the slow experiment benchmark")
 	var obsCLI obs.CLI
@@ -81,7 +81,11 @@ func main() {
 		{"evaluate_dtr/workers=4", benchEvaluateDTR(4)},
 	}
 	if !*quick {
-		benches = append(benches, namedBench{"experiment_fig2a_tiny", benchExperiment("fig2a")})
+		benches = append(benches,
+			namedBench{"dtr_search/plain", benchDTRSearch(150, 100, 40, 0, false)},
+			namedBench{"dtr_search/guided", benchDTRSearch(40, 30, 12, 0.9, true)},
+			namedBench{"experiment_fig2a_tiny", benchExperiment("fig2a")},
+		)
 	}
 
 	for _, nb := range benches {
@@ -229,6 +233,44 @@ func benchEvaluateDTR(routeWorkers int) func(*testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// benchDTRSearch mirrors the root suite's BenchmarkDTRSearchGuided series on
+// the 500-node hierarchical instance: "plain" is the PR 6 search at the
+// budget it needs there (N=150, K=100, M=40); "guided" runs
+// attribution-guided steps with the routing-invariance prune at a third of
+// that budget and must match ΦL with ≥3× fewer delta evaluations and ≥3×
+// less wall-clock — the acceptance ratios benchgate tracks across PRs.
+func benchDTRSearch(n, k, m int, guide float64, prune bool) func(*testing.B) {
+	return func(b *testing.B) {
+		ev, err := benchkit.SearchInstance(dualtopo.LoadBased)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arcs := ev.Graph().NumEdges()
+		p := dualtopo.DTRDefaults()
+		p.N, p.K, p.M, p.Workers = n, k, m, 1
+		p.Seed = 11
+		p.Guide = guide
+		p.Prune = prune
+		var phiL float64
+		var deltas, pruned int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := dualtopo.OptimizeDTRFrom(ev,
+				dualtopo.UniformWeights(arcs), dualtopo.UniformWeights(arcs), p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			phiL = res.Result.PhiL
+			deltas = res.DeltaEvals
+			pruned = res.Pruned
+		}
+		b.ReportMetric(phiL, "PhiL")
+		b.ReportMetric(float64(deltas), "delta-evals")
+		b.ReportMetric(float64(pruned), "pruned")
 	}
 }
 

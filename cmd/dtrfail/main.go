@@ -58,6 +58,8 @@ func main() {
 	robust := flag.Bool("robust", false, "make the DTR search failure-aware (scored on the same model)")
 	mode := flag.String("mode", "delta", "sweep mode: delta|full|verify")
 	routeWorkers := flag.Int("route-workers", 0, "SPF workers for full/verify evaluations (results are identical)")
+	guide := flag.Float64("guide", 0, "guided-step probability in [0,1] for the DTR search (0 = paper's blind sampling)")
+	prune := flag.Bool("prune", false, "enable the routing-invariance candidate prune in the DTR search")
 	var obsCLI obs.CLI
 	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -82,6 +84,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	b.DTR.Guide = *guide
+	b.DTR.Prune = *prune
 	model := resilience.Model{
 		Kind:   *kind,
 		Count:  *count,

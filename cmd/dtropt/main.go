@@ -47,6 +47,9 @@ func main() {
 		budget    = flag.String("budget", "small", "search budget preset: tiny|small|paper")
 		jsonOut   = flag.String("json", "", "write weights and costs as JSON to this file")
 		traceOut  = flag.String("trace", "", "write the DTR search trajectory as JSONL to this file")
+		multi     = flag.Int("multistart", 1, "portfolio size: run this many diverse seeded DTR trajectories and keep the best (1 = plain search)")
+		guide     = flag.Float64("guide", 0, "guided-step probability in [0,1]: bias moves toward cost-attributed arcs (0 = paper's blind rank sampling)")
+		prune     = flag.Bool("prune", false, "skip provably routing-invariant candidates before evaluation")
 	)
 	var obsCLI obs.CLI
 	obsCLI.RegisterFlags(flag.CommandLine)
@@ -101,13 +104,15 @@ func main() {
 	}
 	dtrParams := preset.DTR
 	dtrParams.Seed = *seed + 1
+	dtrParams.Guide = *guide
+	dtrParams.Prune = *prune
+	var tw *search.TraceWriter
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tw := search.NewTraceWriter(tf)
-		dtrParams.OnEvent = tw.OnEvent
+		tw = search.NewTraceWriter(tf)
 		defer func() {
 			if err := tw.Err(); err != nil {
 				log.Fatal(err)
@@ -117,9 +122,38 @@ func main() {
 			}
 		}()
 	}
-	dtr, err := search.DTRFrom(ev, str.W, str.W, dtrParams)
-	if err != nil {
-		log.Fatal(err)
+
+	var dtr *search.DTRResult
+	var pf *search.PortfolioResult
+	if *multi > 1 {
+		strategies := search.DefaultPortfolio(*multi)
+		// Explicit -guide/-prune override every trajectory; otherwise each
+		// strategy keeps its own guidance mix (strategy 0 stays faithful).
+		for i := range strategies {
+			if *guide > 0 {
+				strategies[i].Guide = *guide
+			}
+			if *prune {
+				strategies[i].Prune = true
+			}
+		}
+		pp := search.PortfolioParams{Base: dtrParams, Strategies: strategies}
+		if tw != nil {
+			pp.OnEvent = tw.OnEvent // TraceWriter serializes internally
+		}
+		pf, err = search.Portfolio(ev, str.W, str.W, pp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dtr = pf.Best
+	} else {
+		if tw != nil {
+			dtrParams.OnEvent = tw.OnEvent
+		}
+		dtr, err = search.DTRFrom(ev, str.W, str.W, dtrParams)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("instance: %d nodes, %d arcs, objective=%s, target util=%.2f\n",
@@ -131,18 +165,44 @@ func main() {
 	rl := str.Result.PhiL / dtr.Result.PhiL
 	fmt.Printf("L-cost ratio RL = %.2f (DTR evaluations: %d, STR evaluations: %d)\n",
 		rl, dtr.Evaluations, str.Evaluations)
+	if dtr.Pruned > 0 {
+		fmt.Printf("bound-pruned candidates: %d (%.0f%% of generated)\n",
+			dtr.Pruned, 100*float64(dtr.Pruned)/float64(dtr.Pruned+dtr.Evaluations))
+	}
+	var trajectories []trajectorySummary
+	if pf != nil {
+		fmt.Printf("portfolio: %d trajectories, best is %d (%s)\n",
+			len(pf.Trajectories), pf.BestIndex, pf.Trajectories[pf.BestIndex].Strategy.Name)
+		for i, tr := range pf.Trajectories {
+			marker := " "
+			if i == pf.BestIndex {
+				marker = "*"
+			}
+			fmt.Printf(" %s traj %d %-16s start=%-7s guide=%.2f PhiH=%-12.4g PhiL=%-12.4g evals=%d pruned=%d\n",
+				marker, i, tr.Strategy.Name, tr.Strategy.Start, tr.Strategy.Guide,
+				tr.Result.Result.PhiH, tr.Result.Result.PhiL, tr.Result.Evaluations, tr.Result.Pruned)
+			trajectories = append(trajectories, trajectorySummary{
+				Name: tr.Strategy.Name, Start: tr.Strategy.Start.String(),
+				Guide: tr.Strategy.Guide, Prune: tr.Strategy.Prune,
+				PhiH: tr.Result.Result.PhiH, PhiL: tr.Result.Result.PhiL,
+				Evaluations: tr.Result.Evaluations, Pruned: tr.Result.Pruned,
+				Best: i == pf.BestIndex,
+			})
+		}
+	}
 
 	if *jsonOut != "" {
 		out := struct {
-			Manifest   *obs.Manifest `json:"manifest"`
-			STRWeights spf.Weights   `json:"str_weights"`
-			WH         spf.Weights   `json:"dtr_high_weights"`
-			WL         spf.Weights   `json:"dtr_low_weights"`
-			STRPhiH    float64       `json:"str_phi_h"`
-			STRPhiL    float64       `json:"str_phi_l"`
-			DTRPhiH    float64       `json:"dtr_phi_h"`
-			DTRPhiL    float64       `json:"dtr_phi_l"`
-		}{manifest.Finish(), str.W, dtr.WH, dtr.WL, str.Result.PhiH, str.Result.PhiL, dtr.Result.PhiH, dtr.Result.PhiL}
+			Manifest   *obs.Manifest       `json:"manifest"`
+			STRWeights spf.Weights         `json:"str_weights"`
+			WH         spf.Weights         `json:"dtr_high_weights"`
+			WL         spf.Weights         `json:"dtr_low_weights"`
+			STRPhiH    float64             `json:"str_phi_h"`
+			STRPhiL    float64             `json:"str_phi_l"`
+			DTRPhiH    float64             `json:"dtr_phi_h"`
+			DTRPhiL    float64             `json:"dtr_phi_l"`
+			Portfolio  []trajectorySummary `json:"portfolio,omitempty"`
+		}{manifest.Finish(), str.W, dtr.WH, dtr.WL, str.Result.PhiH, str.Result.PhiL, dtr.Result.PhiH, dtr.Result.PhiL, trajectories}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -152,6 +212,19 @@ func main() {
 		}
 		fmt.Printf("weights written to %s\n", *jsonOut)
 	}
+}
+
+// trajectorySummary is the per-trajectory portfolio record in -json output.
+type trajectorySummary struct {
+	Name        string  `json:"name"`
+	Start       string  `json:"start"`
+	Guide       float64 `json:"guide"`
+	Prune       bool    `json:"prune"`
+	PhiH        float64 `json:"phi_h"`
+	PhiL        float64 `json:"phi_l"`
+	Evaluations int64   `json:"evaluations"`
+	Pruned      int64   `json:"pruned"`
+	Best        bool    `json:"best"`
 }
 
 func parseKind(s string) eval.Kind {

@@ -74,6 +74,8 @@ type runConfig struct {
 	budget       string
 	workers      int
 	routeWorkers int
+	guide        float64
+	prune        bool
 	trials       int
 	seed         int64
 	out          string
@@ -91,6 +93,8 @@ func runFlags(cfg *runConfig) *flag.FlagSet {
 	fs.StringVar(&cfg.budget, "budget", "", "override search budget tier: tiny|small|paper")
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.routeWorkers, "route-workers", 0, "SPF workers inside each trial's full evaluations (results are identical; useful when -workers is small on a many-core machine)")
+	fs.Float64Var(&cfg.guide, "guide", 0, "guided-step probability in [0,1] for every trial's DTR search (0 = paper's blind sampling)")
+	fs.BoolVar(&cfg.prune, "prune", false, "enable the routing-invariance candidate prune in every trial's DTR search")
 	fs.IntVar(&cfg.trials, "trials", 0, "override trials per load point")
 	fs.Int64Var(&cfg.seed, "seed", -1, "override campaign seed (-1 = keep spec's)")
 	fs.StringVar(&cfg.out, "o", "", "write JSON-lines trial records to this file instead of stdout")
@@ -210,6 +214,8 @@ func cmdRun(args []string) {
 		opts := scenario.Options{
 			Workers:      cfg.workers,
 			RouteWorkers: cfg.routeWorkers,
+			Guide:        cfg.guide,
+			Prune:        cfg.prune,
 			OnTrial: func(tr scenario.TrialResult) {
 				if err := enc.Encode(tr); err != nil {
 					log.Fatal(err)

@@ -274,7 +274,23 @@ type (
 	STRResult = search.STRResult
 	// RelaxedRecord is the ε-relaxed best low-priority solution (§5.3.1).
 	RelaxedRecord = search.RelaxedRecord
+	// PortfolioParams configures a multi-start portfolio of DTR searches.
+	PortfolioParams = search.PortfolioParams
+	// PortfolioResult is the outcome of a portfolio run.
+	PortfolioResult = search.PortfolioResult
+	// SearchStrategy describes one portfolio trajectory.
+	SearchStrategy = search.Strategy
 )
+
+// DefaultSearchPortfolio returns s diverse portfolio strategies; see
+// search.DefaultPortfolio.
+func DefaultSearchPortfolio(s int) []SearchStrategy { return search.DefaultPortfolio(s) }
+
+// OptimizePortfolio runs a multi-start portfolio of DTR searches and returns
+// the deterministically selected best trajectory.
+func OptimizePortfolio(e *Evaluator, wH0, wL0 Weights, pp PortfolioParams) (*PortfolioResult, error) {
+	return search.Portfolio(e, wH0, wL0, pp)
+}
 
 // DTRDefaults returns the paper's Algorithm 1 parameters (§5.1.3).
 func DTRDefaults() DTRParams { return search.Defaults() }

@@ -9,6 +9,8 @@ import (
 	"strings"
 
 	"dualtopo"
+	"dualtopo/internal/scenario"
+	"dualtopo/internal/topo"
 )
 
 // PeakRL extracts the headline reproduction metric from an experiment
@@ -77,6 +79,26 @@ func Step(w, base dualtopo.Weights, i, m int) int {
 		w[arc] = base[arc]
 	}
 	return arc
+}
+
+// SearchInstance builds the 500-node weight-search benchmark instance: a
+// hierarchical ISP (20 PoPs x 25 routers, ~1000 bidirectional links) with
+// gravity low-priority demand plus random high-priority pairs, scaled to the
+// paper's 60% average utilization. This is the workload the guided-search
+// acceptance numbers (BENCH_PR7.json's dtr_search series) are measured on.
+func SearchInstance(kind dualtopo.ObjectiveKind) (*dualtopo.Evaluator, error) {
+	spec := scenario.InstanceSpec{
+		Topology:   "hier",
+		Kind:       kind,
+		TargetUtil: 0.6,
+		Seed:       17,
+		TopoParams: &topo.Params{Pops: 20, RoutersPerPop: 25},
+	}
+	inst, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return inst.Evaluator()
 }
 
 // EvalInstance builds the standard 30-node evaluator the search and

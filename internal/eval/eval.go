@@ -309,6 +309,17 @@ func (e *Evaluator) Matrices() (th, tl *traffic.Matrix) { return e.th, e.tl }
 // the order Result.PairDelays uses.
 func (e *Evaluator) HighPriorityPairs() []Pair { return e.pairs }
 
+// HPlan exposes the high-priority routing plan for read-only tree
+// inspection: after a full evaluation its per-destination trees sit at the
+// weights of that evaluation, which is what the search's routing-invariance
+// bounds and guided candidate generation consult. Callers must not route on
+// the returned plan; doing so desynchronizes it from the evaluator's next
+// fast-path evaluation.
+func (e *Evaluator) HPlan() *spf.Plan { return e.planH }
+
+// LPlan is HPlan for the low-priority class.
+func (e *Evaluator) LPlan() *spf.Plan { return e.planL }
+
 // EvaluateSTR evaluates single-topology routing: both classes routed on w.
 func (e *Evaluator) EvaluateSTR(w spf.Weights) (*Result, error) {
 	if err := e.planSTR.Route(w, e.th, e.tl); err != nil {

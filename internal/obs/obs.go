@@ -70,6 +70,26 @@ func (g *Gauge) SetMax(v float64) {
 	}
 }
 
+// SetMin lowers the gauge to v if v is below the current value — running-min
+// tracking (e.g. best portfolio objective seen). The zero value of a Gauge
+// is 0, which SetMin never raises; callers tracking a minimum of positive
+// observations should Set an identity (+Inf) before the first SetMin.
+// Allocation-free.
+func (g *Gauge) SetMin(v float64) {
+	if math.IsNaN(v) {
+		return // a running min ignores undefined observations
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

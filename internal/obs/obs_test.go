@@ -61,6 +61,23 @@ func TestGaugeSetMax(t *testing.T) {
 	}
 }
 
+func TestGaugeSetMin(t *testing.T) {
+	var g Gauge
+	// A zero-value gauge reads 0, which would absorb every SetMin; callers
+	// seed with +Inf first (as the portfolio's best-ΦL gauge does).
+	g.Set(math.Inf(1))
+	g.SetMin(3)
+	g.SetMin(5)
+	g.SetMin(math.NaN()) // ignored
+	if got := g.Value(); got != 3 {
+		t.Fatalf("running min = %g, want 3", got)
+	}
+	g.SetMin(1)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("running min = %g, want 1", got)
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	h := newHistogram([]float64{1, 2, 4})
 	const goroutines, perG = 8, 6000 // perG divisible by the 6-value cycle

@@ -73,6 +73,13 @@ type Options struct {
 	// it. Most useful when Workers is small relative to the machine — e.g. a
 	// campaign of a few heavy trials on a many-core box.
 	RouteWorkers int
+	// Guide sets the DTR searches' guided-step probability (Params.Guide)
+	// across every trial; 0 keeps the paper's blind rank sampling.
+	Guide float64
+	// Prune enables the routing-invariance candidate prune (Params.Prune)
+	// across every trial. Both knobs leave trajectories deterministic per
+	// trial, so aggregates remain functions of the spec plus these options.
+	Prune bool
 	// OnTrial, when non-nil, receives every completed trial in work-list
 	// order (the engine buffers out-of-order completions), so streamed
 	// output is reproducible regardless of Workers.
@@ -115,6 +122,12 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 		// stay bitwise-identical, only trial setup gets faster.
 		budget.DTR.RouteWorkers = opts.RouteWorkers
 		budget.STR.RouteWorkers = opts.RouteWorkers
+	}
+	if opts.Guide > 0 {
+		budget.DTR.Guide = opts.Guide
+	}
+	if opts.Prune {
+		budget.DTR.Prune = true
 	}
 	items := spec.WorkList()
 	workers := opts.Workers

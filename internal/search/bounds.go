@@ -1,0 +1,96 @@
+package search
+
+import (
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+)
+
+// Routing-invariance bound: a candidate whose changed arcs provably leave
+// every shortest-path DAG of the class being re-routed intact routes — and
+// therefore scores — bitwise-identically to the incumbent. The search only
+// accepts strict improvements, so such a candidate can never be selected and
+// its evaluation is pure waste.
+//
+// The per-arc test against the incumbent's destination trees is O(1): for an
+// arc a = (u, v) with incumbent weight w and candidate weight w', and tree
+// distances du = Dist[u], dv = Dist[v] (toward one destination), the arc can
+// influence that tree only if
+//
+//	du == w + dv            (a is on the ECMP DAG and its weight moves), or
+//	w' < w && du >= w' + dv (the decrease creates a path at least as good).
+//
+// If neither holds for any (changed arc, destination) pair, an induction
+// over the changed arcs shows all distances — and hence every DAG — are
+// unchanged: an increase on a non-tight arc keeps it non-tight, and a
+// decrease that stays strictly above du - dv never becomes competitive, so
+// no shortest distance can move and no DAG membership can flip. Identical
+// DAGs mean identical loads, identical per-arc costs summed in the same
+// order, and an objective bitwise-equal to the incumbent's (pinned by
+// TestPruneBoundSoundness).
+//
+// The bound is only consulted while the incumbent's plan trees are anchored
+// at the incumbent weights — which newDTRSearch guarantees for s.e in both
+// delta and full-evaluation mode — and never under Robust scoring, where
+// failure states re-route under candidate weights and intact-invariance
+// says nothing about the sweep.
+
+// pruneOn reports whether the routing-invariance prune is active.
+func (s *dtrSearch) pruneOn() bool { return s.p.Prune && !s.robust() }
+
+// arcsInvariant reports whether changing w to cw on the given arcs provably
+// leaves every destination tree of plan intact.
+func arcsInvariant(plan *spf.Plan, csr *graph.CSR, w, cw spf.Weights, arcs []graph.EdgeID) bool {
+	dests := plan.Destinations()
+	for _, a := range arcs {
+		oldW, newW := int64(w[a]), int64(cw[a])
+		if oldW == newW {
+			continue
+		}
+		u, v := csr.From[a], csr.To[a]
+		for _, dest := range dests {
+			t := plan.Tree(dest)
+			dv := t.Dist[v]
+			if dv == spf.Unreachable {
+				continue // the arc leads nowhere useful for this destination
+			}
+			du := t.Dist[u]
+			if du == oldW+dv {
+				return false // on the DAG; its weight moves
+			}
+			if newW < oldW && du >= newW+dv {
+				return false // decrease creates a competitive path
+			}
+		}
+	}
+	return true
+}
+
+// pruneCandidates drops the provably routing-invariant candidates from
+// cands (and keeps s.candArcs aligned), counting what it discarded. The
+// filter consumes no randomness and touches no evaluator or pending state,
+// so the surviving trajectory is identical to the unpruned one.
+func (s *dtrSearch) pruneCandidates(cands []spf.Weights, plan *spf.Plan, w spf.Weights) []spf.Weights {
+	if !s.pruneOn() || len(cands) == 0 {
+		return cands
+	}
+	csr := s.e.Graph().CSR()
+	kept := cands[:0]
+	keptArcs := s.candArcs[:0]
+	for i, cw := range cands {
+		if arcsInvariant(plan, csr, w, cw, s.candArcs[i][:]) {
+			s.stepPruned++
+			continue
+		}
+		kept = append(kept, cw)
+		keptArcs = append(keptArcs, s.candArcs[i])
+	}
+	s.candArcs = keptArcs
+	if n := len(cands) - len(kept); n > 0 {
+		s.pruned += int64(n)
+		searchMet.candPruned.Add(int64(n))
+		if gen := searchMet.candGenerated.Value(); gen > 0 {
+			searchMet.pruneRate.Set(float64(searchMet.candPruned.Value()) / float64(gen))
+		}
+	}
+	return kept
+}

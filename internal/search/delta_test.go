@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dualtopo/internal/eval"
+	"dualtopo/internal/spf"
 )
 
 // TestDTRDeltaMatchesFullEval runs the same seeded DTR search with
@@ -12,37 +13,55 @@ import (
 // evaluation count. This is the end-to-end statement that the delta paths
 // are bitwise-transparent to the heuristic.
 func TestDTRDeltaMatchesFullEval(t *testing.T) {
+	variants := []struct {
+		name  string
+		guide float64
+		prune bool
+	}{
+		{name: "plain"},
+		// Guided + pruned steps must also be mode-transparent: the prune and
+		// the attribution consult s.e's incumbent-anchored trees, which
+		// newDTRSearch keeps identical between delta and full mode.
+		{name: "guided_pruned", guide: 0.7, prune: true},
+	}
 	for _, kind := range []eval.Kind{eval.LoadBased, eval.SLABased} {
-		t.Run(kind.String(), func(t *testing.T) {
-			p := tinyParams()
-			p.VerifyDelta = true // assert delta == full on every accept too
+		for _, v := range variants {
+			t.Run(kind.String()+"/"+v.name, func(t *testing.T) {
+				p := tinyParams()
+				p.VerifyDelta = true // assert delta == full on every accept too
+				p.Guide = v.guide
+				p.Prune = v.prune
 
-			delta, err := DTR(randomEvaluator(t, kind, 11), p)
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			pf := p
-			pf.FullEval = true
-			pf.VerifyDelta = false
-			full, err := DTR(randomEvaluator(t, kind, 11), pf)
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			if delta.Best != full.Best {
-				t.Fatalf("best objective: delta %+v, full %+v", delta.Best, full.Best)
-			}
-			if delta.Evaluations != full.Evaluations {
-				t.Fatalf("evaluations: delta %d, full %d", delta.Evaluations, full.Evaluations)
-			}
-			for i := range delta.WH {
-				if delta.WH[i] != full.WH[i] || delta.WL[i] != full.WL[i] {
-					t.Fatalf("weight divergence at arc %d: delta (%d,%d), full (%d,%d)",
-						i, delta.WH[i], delta.WL[i], full.WH[i], full.WL[i])
+				delta, err := DTR(randomEvaluator(t, kind, 11), p)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-		})
+
+				pf := p
+				pf.FullEval = true
+				pf.VerifyDelta = false
+				full, err := DTR(randomEvaluator(t, kind, 11), pf)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if delta.Best != full.Best {
+					t.Fatalf("best objective: delta %+v, full %+v", delta.Best, full.Best)
+				}
+				if delta.Evaluations != full.Evaluations {
+					t.Fatalf("evaluations: delta %d, full %d", delta.Evaluations, full.Evaluations)
+				}
+				if delta.Pruned != full.Pruned {
+					t.Fatalf("pruned candidates: delta %d, full %d", delta.Pruned, full.Pruned)
+				}
+				for i := range delta.WH {
+					if delta.WH[i] != full.WH[i] || delta.WL[i] != full.WL[i] {
+						t.Fatalf("weight divergence at arc %d: delta (%d,%d), full (%d,%d)",
+							i, delta.WH[i], delta.WL[i], full.WH[i], full.WL[i])
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -121,16 +140,30 @@ func TestDTRDeltaParallelWorkersDeterministic(t *testing.T) {
 // incumbent — silently desynchronizing delta from full evaluation.
 func TestSearchesReproducibleOnReusedEvaluator(t *testing.T) {
 	e := randomEvaluator(t, eval.LoadBased, 11)
+	n := e.Graph().NumEdges()
 	p := tinyParams()
 	p.VerifyDelta = true
+	pp := PortfolioParams{
+		Base:        p,
+		Strategies:  DefaultPortfolio(3),
+		Concurrency: 2,
+	}
 	var prevDTR *DTRResult
 	var prevSTR *STRResult
+	var prevPF *PortfolioResult
 	for run := 0; run < 3; run++ {
 		dr, err := DTR(e, p)
 		if err != nil {
 			t.Fatalf("run %d: %v", run, err)
 		}
 		sr, err := STR(e, tinySTRParams())
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		// The portfolio clones e per trajectory and never routes on e itself,
+		// so interleaving it here must disturb neither its own reproducibility
+		// nor the plain searches'.
+		pf, err := Portfolio(e, spf.Uniform(n), spf.Uniform(n), pp)
 		if err != nil {
 			t.Fatalf("run %d: %v", run, err)
 		}
@@ -144,7 +177,16 @@ func TestSearchesReproducibleOnReusedEvaluator(t *testing.T) {
 					t.Fatalf("run %d: weights changed on reuse at arc %d", run, i)
 				}
 			}
+			if pf.BestIndex != prevPF.BestIndex || pf.Best.Best != prevPF.Best.Best {
+				t.Fatalf("run %d: portfolio changed on reuse (best %d %+v vs %d %+v)",
+					run, pf.BestIndex, pf.Best.Best, prevPF.BestIndex, prevPF.Best.Best)
+			}
+			for ti := range pf.Trajectories {
+				if pf.Trajectories[ti].Result.Best != prevPF.Trajectories[ti].Result.Best {
+					t.Fatalf("run %d: trajectory %d changed on reuse", run, ti)
+				}
+			}
 		}
-		prevDTR, prevSTR = dr, sr
+		prevDTR, prevSTR, prevPF = dr, sr, pf
 	}
 }

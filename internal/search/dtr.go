@@ -22,6 +22,12 @@ type DTRResult struct {
 	Best cost.Lex
 	// Evaluations counts objective evaluations performed.
 	Evaluations int64
+	// DeltaEvals and FullEvals split Evaluations between the incremental
+	// candidate paths and from-scratch evaluations.
+	DeltaEvals, FullEvals int64
+	// Pruned counts candidates discarded by the routing-invariance bound
+	// before any evaluation (Params.Prune).
+	Pruned int64
 	// Robust carries the failure-aware score of (WH, WL) when the search ran
 	// with Params.Robust configured; nil otherwise.
 	Robust *RobustScore
@@ -87,6 +93,9 @@ func DTRFrom(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*DTRResult, err
 		Result:      best,
 		Best:        best.Objective(),
 		Evaluations: s.evals,
+		DeltaEvals:  s.deltaEvals,
+		FullEvals:   s.fullEvals,
+		Pruned:      s.pruned,
 	}
 	if s.robust() {
 		if res.Robust, err = s.finalRobust(best.PhiL); err != nil {
@@ -135,11 +144,21 @@ type dtrSearch struct {
 	// reports. Both are updated only from the coordinating goroutine, so
 	// they are deterministic.
 	deltaEvals, fullEvals int64
-	// stepCands/stepAccepted describe the current step for the trace: how
-	// many candidates were evaluated and whether a move was accepted.
+	// stepCands/stepPruned/stepAccepted describe the current step for the
+	// trace: how many candidates were evaluated, how many the bound pruned,
+	// and whether a move was accepted.
 	stepCands    int
+	stepPruned   int
 	stepAccepted bool
 	err          error
+
+	// Guided-generation state: the incumbent's cached arc attribution
+	// (refreshed lazily on the first guided step after an incumbent move)
+	// and the candidate-pipeline tallies behind DTRResult.Pruned.
+	attr      eval.Attribution
+	attrFresh bool
+	generated int64
+	pruned    int64
 
 	// Failure-aware scoring state (see robust.go): per-worker sweep engines,
 	// the filtered failure set, per-candidate penalties, and the additive
@@ -172,6 +191,16 @@ func newDTRSearch(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*dtrSearch
 	e.ResetDelta() // a reused evaluator must not leak a prior run's router position
 	s.pool = make([]*eval.Evaluator, workers)
 	s.pool[0] = e
+	if p.FullEval {
+		// In full-evaluation mode candidate scoring routes the evaluator's
+		// plans at candidate weights; give worker 0 a clone so s.e's plans
+		// stay anchored at the incumbent (delta mode already has this: the
+		// delta paths route separate incremental routers). The anchor is
+		// what the routing-invariance prune and the guided attribution
+		// consult, so both modes see identical trees and make identical
+		// decisions — keeping delta and full trajectories bitwise-equal.
+		s.pool[0] = e.Clone()
+	}
 	for i := 1; i < workers; i++ {
 		s.pool[i] = e.Clone()
 	}
@@ -221,6 +250,7 @@ func (s *dtrSearch) refreshFull() error {
 	searchMet.evalsFull.Inc()
 	s.cur = r
 	s.curLex = r.Objective()
+	s.attrFresh = false
 	if s.robust() {
 		if s.curRob, err = s.robustTerm(0, s.wH, s.wL); err != nil {
 			return err
@@ -241,6 +271,7 @@ func (s *dtrSearch) runRoutine(routine int, kind string, iterations int, step fu
 	sinceImprove := 0
 	for iter := 0; iter < iterations; iter++ {
 		s.stepCands = 0
+		s.stepPruned = 0
 		s.stepAccepted = false
 		improvedBest := step()
 		if s.err != nil {
@@ -264,6 +295,7 @@ func (s *dtrSearch) runRoutine(routine int, kind string, iterations int, step fu
 			}
 			searchMet.perturbs.Inc()
 			s.stepCands = 0
+			s.stepPruned = 0
 			s.stepAccepted = false
 			s.emit(routine, iter, "perturb", false)
 			sinceImprove = 0
@@ -284,6 +316,7 @@ func (s *dtrSearch) emit(routine, iter int, kind string, improved bool) {
 		Accepted:    s.stepAccepted,
 		Improved:    improved,
 		Candidates:  s.stepCands,
+		Pruned:      s.stepPruned,
 		PhiH:        s.cur.PhiH,
 		PhiL:        s.cur.PhiL,
 		BestPrimary: s.bestLex.Primary,
@@ -374,12 +407,20 @@ func (s *dtrSearch) noteLChange(arcs []graph.EdgeID) {
 }
 
 // findH runs Algorithm 2 on the high-priority weights: build the
-// neighborhood from the link-cost ranking, evaluate the m neighbors, and
-// move if the best neighbor improves the current solution. Reports whether
-// a move was accepted.
+// neighborhood from the link-cost ranking (or, on guided steps, from the
+// incumbent's arc attribution), drop the provably routing-invariant
+// neighbors, evaluate the rest, and move if the best improves the current
+// solution. Reports whether a move was accepted.
 func (s *dtrSearch) findH() bool {
-	s.sortLinks(func(id graph.EdgeID) cost.Lex { return s.cur.LinkCost(id) })
-	cands := s.buildNeighbors(s.wH)
+	guided := s.useGuided()
+	if guided {
+		s.ensureAttr()
+		s.sortLinksGuided(s.attr.HScore)
+	} else {
+		s.sortLinks(func(id graph.EdgeID) cost.Lex { return s.cur.LinkCost(id) })
+	}
+	cands := s.buildNeighbors(s.wH, guided)
+	cands = s.pruneCandidates(cands, s.e.HPlan(), s.wH)
 	if len(cands) == 0 {
 		return false
 	}
@@ -441,16 +482,24 @@ func (s *dtrSearch) findH() bool {
 	}
 	s.cur = r
 	s.curLex = r.Objective()
+	s.attrFresh = false
 	return true
 }
 
 // findL is FindH's twin on the low-priority weights, sorting links by ΦL,l
 // only (WL has no effect on the high-priority class).
 func (s *dtrSearch) findL() bool {
-	s.sortLinks(func(id graph.EdgeID) cost.Lex {
-		return cost.Lex{Primary: s.cur.LinkPhiL[id]}
-	})
-	cands := s.buildNeighbors(s.wL)
+	guided := s.useGuided()
+	if guided {
+		s.ensureAttr()
+		s.sortLinksGuided(s.attr.LScore)
+	} else {
+		s.sortLinks(func(id graph.EdgeID) cost.Lex {
+			return cost.Lex{Primary: s.cur.LinkPhiL[id]}
+		})
+	}
+	cands := s.buildNeighbors(s.wL, guided)
+	cands = s.pruneCandidates(cands, s.e.LPlan(), s.wL)
 	if len(cands) == 0 {
 		return false
 	}
@@ -509,6 +558,7 @@ func (s *dtrSearch) findL() bool {
 	}
 	s.cur = r
 	s.curLex = r.Objective()
+	s.attrFresh = false
 	return true
 }
 
@@ -525,10 +575,16 @@ func (s *dtrSearch) sortLinks(linkCost func(graph.EdgeID) cost.Lex) {
 // buildNeighbors implements Algorithm 2 lines 2-5: draw k1 and k2 from the
 // heavy-tail rank distribution, slice the m-link sets A (high cost, weights
 // to increase) and B (low cost, weights to decrease), and pair them without
-// replacement into up to m neighbor weight settings.
-func (s *dtrSearch) buildNeighbors(w spf.Weights) []spf.Weights {
+// replacement into up to m neighbor weight settings. Guided steps differ
+// only in s.order (attribution-sorted instead of cost-sorted); the rank
+// draws, pairing, and clamping rules are shared, so guided candidates stay
+// legal Algorithm 2 moves and consume the same rng stream.
+func (s *dtrSearch) buildNeighbors(w spf.Weights, guided bool) []spf.Weights {
 	n := len(s.order)
 	m := s.p.Neighbors
+	if guided {
+		searchMet.candGuided.Inc()
+	}
 	k1 := s.sampler.sample(s.rng.Rand)
 	k2 := s.sampler.sample(s.rng.Rand)
 	s.aSet = append(s.aSet[:0], s.order[k1-1:k1-1+m]...)
@@ -549,6 +605,8 @@ func (s *dtrSearch) buildNeighbors(w spf.Weights) []spf.Weights {
 			s.candArcs = append(s.candArcs, [2]graph.EdgeID{up, down})
 		}
 	}
+	s.generated += int64(len(cands))
+	searchMet.candGenerated.Add(int64(len(cands)))
 	return cands
 }
 
@@ -605,6 +663,7 @@ func (s *dtrSearch) evalCandidates(cands []spf.Weights, fn func(worker, idx int,
 	}
 	s.evals += int64(len(cands))
 	s.stepCands += len(cands)
+	searchMet.candEvaluated.Add(int64(len(cands)))
 	if s.p.FullEval {
 		s.fullEvals += int64(len(cands))
 		searchMet.evalsFull.Add(int64(len(cands)))

@@ -68,6 +68,26 @@ type Params struct {
 	Step int
 	// Seed makes the search deterministic.
 	Seed uint64
+	// Guide is the per-step probability in [0, 1] that FindH/FindL rank the
+	// candidate neighborhood by the incumbent's arc attribution (arcs
+	// ordered by their contribution to ΦH/Λ and ΦL) instead of the static
+	// link-cost ordering. The paper's heavy-tail rank sampler then draws
+	// from that ordering unchanged, so guided candidates remain legal
+	// Algorithm 2 moves and fresh pairs keep appearing between accepts. 0
+	// (the default) reproduces the paper's Algorithm 2 stream bitwise; 1
+	// guides every step; values in between keep the blind ordering as the
+	// exploration floor.
+	Guide float64
+	// Prune skips the delta evaluation of candidates whose changed arcs
+	// provably leave every shortest-path DAG of the class being re-routed
+	// intact: such a candidate's objective equals the incumbent's bitwise,
+	// so it can never be strictly selected. The search trajectory (accepted
+	// weights, best solution) is identical with pruning on or off; only the
+	// evaluation count drops. Ignored while failure-aware (Robust) scoring
+	// is active — identical intact routing does not imply identical failure
+	// sweeps, because candidates re-route failure states under their own
+	// weights.
+	Prune bool
 	// Workers bounds concurrent neighbor evaluations; 0 means GOMAXPROCS.
 	Workers int
 	// RouteWorkers bounds the SPF worker pool used for the search's full
@@ -133,6 +153,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("search: WMax=%d < 2", p.WMax)
 	case p.Step < 1:
 		return fmt.Errorf("search: step=%d < 1", p.Step)
+	case p.Guide < 0 || p.Guide > 1:
+		return fmt.Errorf("search: guide=%g outside [0,1]", p.Guide)
 	case p.Workers < 0:
 		return fmt.Errorf("search: workers=%d < 0", p.Workers)
 	case p.RouteWorkers < 0:

@@ -1,0 +1,197 @@
+package search
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"dualtopo/internal/eval"
+	"dualtopo/internal/spf"
+)
+
+// portfolioFixture returns a fresh evaluator plus uniform start weights.
+func portfolioFixture(t *testing.T, seed uint64) (*eval.Evaluator, spf.Weights) {
+	t.Helper()
+	e := randomEvaluator(t, eval.LoadBased, seed)
+	return e, spf.Uniform(e.Graph().NumEdges())
+}
+
+// TestPortfolioDeterministicAcrossConcurrency is the acceptance contract:
+// the portfolio's output — winner, winner index, every trajectory's weights
+// and objective, and every trajectory's trace stream — must be
+// bitwise-identical at 1 worker, 4 workers, and GOMAXPROCS workers. The
+// shared bound is advisory-only and per-trajectory state is fully isolated,
+// so scheduling must not be observable in any output.
+func TestPortfolioDeterministicAcrossConcurrency(t *testing.T) {
+	concs := []int{1, 4, runtime.GOMAXPROCS(0)}
+	type capture struct {
+		res    *PortfolioResult
+		traces map[int][]TraceEvent
+	}
+	runs := make([]capture, 0, len(concs))
+	for _, conc := range concs {
+		e, w0 := portfolioFixture(t, 43)
+		p := tinyParams()
+		p.N, p.K, p.M = 80, 60, 20
+		// Pin per-trajectory candidate workers so the inner parallelism does
+		// not vary with Concurrency (it is deterministic either way, but
+		// pinning isolates what this test is about).
+		p.Workers = 2
+		var mu sync.Mutex
+		traces := map[int][]TraceEvent{}
+		pp := PortfolioParams{
+			Base:        p,
+			Strategies:  DefaultPortfolio(5),
+			Concurrency: conc,
+			OnEvent: func(te TraceEvent) {
+				mu.Lock()
+				traces[te.Trajectory] = append(traces[te.Trajectory], te)
+				mu.Unlock()
+			},
+		}
+		res, err := Portfolio(e, w0, w0, pp)
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", conc, err)
+		}
+		runs = append(runs, capture{res: res, traces: traces})
+	}
+
+	ref := runs[0]
+	for ri := 1; ri < len(runs); ri++ {
+		got := runs[ri]
+		if got.res.BestIndex != ref.res.BestIndex || got.res.Best.Best != ref.res.Best.Best {
+			t.Fatalf("concurrency %d: winner diverged: idx %d %+v vs idx %d %+v",
+				concs[ri], got.res.BestIndex, got.res.Best.Best, ref.res.BestIndex, ref.res.Best.Best)
+		}
+		for ti := range ref.res.Trajectories {
+			a, b := ref.res.Trajectories[ti].Result, got.res.Trajectories[ti].Result
+			if a.Best != b.Best || a.Evaluations != b.Evaluations || a.Pruned != b.Pruned {
+				t.Fatalf("concurrency %d: trajectory %d diverged: %+v/%d/%d vs %+v/%d/%d",
+					concs[ri], ti, b.Best, b.Evaluations, b.Pruned, a.Best, a.Evaluations, a.Pruned)
+			}
+			for i := range a.WH {
+				if a.WH[i] != b.WH[i] || a.WL[i] != b.WL[i] {
+					t.Fatalf("concurrency %d: trajectory %d weights diverged at arc %d", concs[ri], ti, i)
+				}
+			}
+			if !reflect.DeepEqual(ref.traces[ti], got.traces[ti]) {
+				t.Fatalf("concurrency %d: trajectory %d trace stream diverged (%d vs %d events)",
+					concs[ri], ti, len(got.traces[ti]), len(ref.traces[ti]))
+			}
+		}
+	}
+
+	// Every event must carry its trajectory index, and every trajectory must
+	// have emitted at least one event.
+	for ti, evs := range ref.traces {
+		if len(evs) == 0 {
+			t.Fatalf("trajectory %d emitted no trace events", ti)
+		}
+		for _, te := range evs {
+			if te.Trajectory != ti {
+				t.Fatalf("event filed under trajectory %d carries index %d", ti, te.Trajectory)
+			}
+		}
+	}
+	if len(ref.traces) != len(ref.res.Trajectories) {
+		t.Fatalf("trace streams for %d trajectories, want %d", len(ref.traces), len(ref.res.Trajectories))
+	}
+}
+
+// TestPortfolioSelectsDeterministicWinner: the winner is the minimum by
+// lexicographic objective with ties broken by the lowest trajectory index.
+func TestPortfolioSelectsDeterministicWinner(t *testing.T) {
+	e, w0 := portfolioFixture(t, 47)
+	p := tinyParams()
+	p.N, p.K = 60, 40
+	pp := PortfolioParams{Base: p, Strategies: DefaultPortfolio(4), Concurrency: 2}
+	res, err := Portfolio(e, w0, w0, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Trajectories {
+		if tr.Result.Best.Less(res.Best.Best) {
+			t.Fatalf("trajectory %d (%s) beats the declared winner: %+v vs %+v",
+				i, tr.Strategy.Name, tr.Result.Best, res.Best.Best)
+		}
+		if i < res.BestIndex && tr.Result.Best == res.Best.Best {
+			t.Fatalf("tie at trajectory %d not broken by lowest index (winner %d)", i, res.BestIndex)
+		}
+	}
+	if res.Trajectories[res.BestIndex].Result != res.Best {
+		t.Fatal("BestIndex does not point at Best")
+	}
+}
+
+// TestPortfolioNeverWorseThanPlainSearch: DefaultPortfolio's first strategy
+// is a faithful warm-started paper search at the base seed, so the portfolio
+// winner can never be worse than a plain DTRFrom with the same inputs.
+func TestPortfolioNeverWorseThanPlainSearch(t *testing.T) {
+	e, w0 := portfolioFixture(t, 53)
+	p := tinyParams()
+	p.N, p.K = 80, 60
+	plain, err := DTRFrom(e.Clone(), w0, w0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := PortfolioParams{Base: p, Strategies: DefaultPortfolio(4), Concurrency: 2}
+	res, err := Portfolio(e, w0, w0, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Best.Less(res.Best.Best) {
+		t.Fatalf("portfolio (%+v) worse than plain search (%+v)", res.Best.Best, plain.Best)
+	}
+	if warm := res.Trajectories[0].Result; warm.Best != plain.Best {
+		t.Fatalf("warm trajectory (%+v) does not reproduce the plain search (%+v)", warm.Best, plain.Best)
+	}
+}
+
+// TestPortfolioValidation rejects malformed configurations before any work.
+func TestPortfolioValidation(t *testing.T) {
+	e, w0 := portfolioFixture(t, 59)
+	p := tinyParams()
+	bad := []PortfolioParams{
+		{Base: p}, // no strategies
+		{Base: p, Strategies: DefaultPortfolio(2), Concurrency: -1}, // negative concurrency
+		{Base: p, Strategies: []Strategy{{Name: "x", Guide: 1.5}}},  // invalid per-strategy guide
+	}
+	for i, pp := range bad {
+		if _, err := Portfolio(e, w0, w0, pp); err == nil {
+			t.Errorf("case %d: invalid portfolio params accepted", i)
+		}
+	}
+	short := spf.Weights{1}
+	if _, err := Portfolio(e, short, w0, PortfolioParams{Base: p, Strategies: DefaultPortfolio(1)}); err == nil {
+		t.Error("mis-sized warm-start weights accepted")
+	}
+}
+
+// TestDefaultPortfolioShape: distinct names, strategy 0 faithful (warm start,
+// no guidance, no pruning, zero seed delta), the rest decorrelated.
+func TestDefaultPortfolioShape(t *testing.T) {
+	sts := DefaultPortfolio(9)
+	if len(sts) != 9 {
+		t.Fatalf("got %d strategies, want 9", len(sts))
+	}
+	if s0 := sts[0]; s0.Start != StartWarm || s0.Guide != 0 || s0.Prune || s0.SeedDelta != 0 {
+		t.Fatalf("strategy 0 is not the faithful paper search: %+v", s0)
+	}
+	names := make([]string, len(sts))
+	deltas := map[uint64]bool{}
+	for i, st := range sts {
+		names[i] = st.Name
+		if deltas[st.SeedDelta] {
+			t.Fatalf("duplicate seed delta %d at strategy %d", st.SeedDelta, i)
+		}
+		deltas[st.SeedDelta] = true
+	}
+	sort.Strings(names)
+	for i := 1; i < len(names); i++ {
+		if names[i] == names[i-1] {
+			t.Fatalf("duplicate strategy name %q", names[i])
+		}
+	}
+}

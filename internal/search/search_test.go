@@ -92,6 +92,8 @@ func TestParamsValidate(t *testing.T) {
 		func(p *Params) { p.Tau = -1 },
 		func(p *Params) { p.WMax = 1 },
 		func(p *Params) { p.Step = 0 },
+		func(p *Params) { p.Guide = -0.1 },
+		func(p *Params) { p.Guide = 1.01 },
 		func(p *Params) { p.Workers = -2 },
 	}
 	for i, mutate := range bad {

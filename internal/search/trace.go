@@ -3,6 +3,7 @@ package search
 import (
 	"encoding/json"
 	"io"
+	"sync"
 
 	"dualtopo/internal/obs"
 )
@@ -15,6 +16,9 @@ import (
 // inputs — the same spec and seed produce an identical event stream at any
 // Workers or RouteWorkers setting — so traces diff cleanly across runs.
 type TraceEvent struct {
+	// Trajectory identifies which portfolio trajectory emitted the event;
+	// 0 for a plain (single-trajectory) search.
+	Trajectory int `json:"trajectory"`
 	// Routine is Algorithm 1's phase: 1 (FindH), 2 (FindL), 3 (refine).
 	Routine int `json:"routine"`
 	// Iter is the zero-based iteration within the routine.
@@ -28,6 +32,9 @@ type TraceEvent struct {
 	Improved bool `json:"improved"`
 	// Candidates is the number of neighbor settings evaluated this step.
 	Candidates int `json:"candidates"`
+	// Pruned is the number of generated neighbors discarded this step by the
+	// routing-invariance bound before any evaluation.
+	Pruned int `json:"pruned"`
 	// PhiH and PhiL are the incumbent's class costs after the step.
 	PhiH float64 `json:"phi_h"`
 	PhiL float64 `json:"phi_l"`
@@ -43,8 +50,12 @@ type TraceEvent struct {
 
 // TraceWriter emits TraceEvents as JSON lines. Encoding is deterministic
 // (fixed field order, shortest float form), so a trace is byte-identical
-// across runs of the same seeded search.
+// across runs of the same seeded search. Writes are serialized, so one
+// TraceWriter can absorb a whole portfolio's concurrent trajectory streams
+// (lines then interleave nondeterministically across trajectories; each
+// trajectory's own subsequence stays deterministic).
 type TraceWriter struct {
+	mu  sync.Mutex
 	enc *json.Encoder
 	err error
 }
@@ -54,9 +65,11 @@ func NewTraceWriter(w io.Writer) *TraceWriter {
 	return &TraceWriter{enc: json.NewEncoder(w)}
 }
 
-// OnEvent is the Params.OnEvent hook: it encodes the event, retaining the
-// first write error.
+// OnEvent is the Params.OnEvent / PortfolioParams.OnEvent hook: it encodes
+// the event, retaining the first write error.
 func (t *TraceWriter) OnEvent(ev TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.err == nil {
 		t.err = t.enc.Encode(ev)
 	}
@@ -75,6 +88,13 @@ var searchMet = struct {
 	perturbs   *obs.Counter
 	evalsDelta *obs.Counter
 	evalsFull  *obs.Counter
+	// Candidate pipeline accounting: every neighbor built, split by fate —
+	// discarded by the routing-invariance bound or actually evaluated.
+	candGenerated *obs.Counter
+	candPruned    *obs.Counter
+	candEvaluated *obs.Counter
+	candGuided    *obs.Counter
+	pruneRate     *obs.Gauge
 }{
 	iterFindH:  obs.Default().CounterVec("search_iterations_total", "DTR search iterations, by move kind.", "kind").With("findH"),
 	iterFindL:  obs.Default().CounterVec("search_iterations_total", "DTR search iterations, by move kind.", "kind").With("findL"),
@@ -83,6 +103,21 @@ var searchMet = struct {
 	perturbs:   obs.Default().Counter("search_perturbations_total", "DTR search diversification perturbations."),
 	evalsDelta: obs.Default().CounterVec("search_evaluations_total", "Objective evaluations, by path.", "path").With("delta"),
 	evalsFull:  obs.Default().CounterVec("search_evaluations_total", "Objective evaluations, by path.", "path").With("full"),
+
+	candGenerated: obs.Default().CounterVec("search_candidates_total", "Neighbor candidates, by outcome.", "outcome").With("generated"),
+	candPruned:    obs.Default().CounterVec("search_candidates_total", "Neighbor candidates, by outcome.", "outcome").With("pruned"),
+	candEvaluated: obs.Default().CounterVec("search_candidates_total", "Neighbor candidates, by outcome.", "outcome").With("evaluated"),
+	candGuided:    obs.Default().Counter("search_guided_steps_total", "Search steps that used guided (attribution-ranked) candidate generation."),
+	pruneRate:     obs.Default().Gauge("search_prune_rate", "Fraction of generated candidates pruned by the routing-invariance bound (process lifetime)."),
+}
+
+// Portfolio-level telemetry (see portfolio.go).
+var portfolioMet = struct {
+	trajectories *obs.CounterVec
+	bestPhiL     *obs.Gauge
+}{
+	trajectories: obs.Default().CounterVec("portfolio_trajectories_total", "Completed portfolio trajectories, by start strategy.", "strategy"),
+	bestPhiL:     obs.Default().Gauge("portfolio_best_phi_l", "Best low-priority cost seen by any portfolio trajectory (running minimum)."),
 }
 
 // iterCounter maps a move kind to its pre-resolved iteration counter.

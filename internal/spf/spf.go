@@ -70,6 +70,12 @@ func maxWeight(w Weights) int {
 // unreachable marks nodes with no path to the destination.
 const unreachable = math.MaxInt64
 
+// Unreachable is the Tree.Dist value of nodes with no path to the
+// destination, exported for callers inspecting tree distances directly
+// (e.g. the search's routing-invariance bound checks). Guard with it before
+// doing arithmetic on a distance: adding any weight to it overflows.
+const Unreachable = unreachable
+
 // Tree is the shortest-path structure rooted at one destination: distances,
 // the ECMP DAG (per-node set of outgoing arcs on shortest paths toward
 // Dest), and the nodes in increasing-distance order. A Tree is filled by

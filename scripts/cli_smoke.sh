@@ -91,10 +91,20 @@ test -s "$bin/trace.jsonl"
 head -1 "$bin/trace.jsonl" | grep -q '"kind"' || {
   echo "FAIL: dtropt -trace output is not a trajectory event stream"; exit 1; }
 
+echo "== dtropt: guided multi-start portfolio with per-trajectory traces"
+"$bin/dtropt" -budget tiny -graph "$bin/import.json" -multistart 4 -guide 0.9 -prune \
+  -json "$bin/portfolio.json" -trace "$bin/ptrace.jsonl" >/dev/null
+grep -q '"portfolio"' "$bin/portfolio.json" || {
+  echo "FAIL: dtropt -multistart JSON output missing the portfolio section"; exit 1; }
+grep -q '"manifest"' "$bin/portfolio.json" || {
+  echo "FAIL: dtropt -multistart JSON output missing run manifest"; exit 1; }
+grep -q '"trajectory"' "$bin/ptrace.jsonl" || {
+  echo "FAIL: dtropt -multistart trace events lack trajectory indexes"; exit 1; }
+
 echo "== dtrfail: sampled single-link sweep at the tiny budget"
 "$bin/dtrfail" -budget tiny -kind link -sample 4 >/dev/null
 
 echo "== benchgate: committed baseline gates against itself"
-"$bin/benchgate" -baseline BENCH_PR4.json -current BENCH_PR4.json >/dev/null
+"$bin/benchgate" -baseline BENCH_PR7.json -current BENCH_PR7.json >/dev/null
 
 echo "ok: CLI smoke passed"
