@@ -8,12 +8,15 @@
 //     machine);
 //   - any ns/op regression beyond -max-regress (default 25%), checked only
 //     when both reports ran at the same GOMAXPROCS — cross-shape timings
-//     are not comparable, and the gate says so instead of guessing.
+//     are not comparable, and the gate says so instead of guessing;
+//   - any "-x"-suffixed ratio metric (e.g. par_speedup-x, higher is better)
+//     shrinking below baseline*(1 - max-regress), under the same
+//     same-GOMAXPROCS rule as timings.
 //
 // Usage:
 //
 //	go run ./cmd/dtrbench -o bench_new.json
-//	go run ./cmd/benchgate -baseline BENCH_PR7.json -current bench_new.json
+//	go run ./cmd/benchgate -baseline BENCH_PR8.json -current bench_new.json
 package main
 
 import (
@@ -28,7 +31,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
-	baseline := flag.String("baseline", "BENCH_PR7.json", "committed baseline report")
+	baseline := flag.String("baseline", "BENCH_PR8.json", "committed baseline report")
 	current := flag.String("current", "", "freshly generated report to gate")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
 	flag.Parse()

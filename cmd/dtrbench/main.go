@@ -1,13 +1,15 @@
 // Command dtrbench runs the canonical dualtopo benchmark set and emits a
-// machine-readable JSON report (default BENCH_PR7.json) so the performance
+// machine-readable JSON report (default BENCH_PR8.json) so the performance
 // trajectory of the routing core is tracked across PRs: per-benchmark
 // ns/op, bytes/op, allocs/op, and any extra metrics (full/delta speedup,
-// experiment peakRL). CI runs it on every push and uploads the report as an
-// artifact; compare reports across commits to spot regressions.
+// parallel-route speedup, steady-state and high-water heap per scale
+// instance, experiment peakRL). CI runs it on every push and uploads the
+// report as an artifact; compare reports across commits to spot regressions.
 //
 // Usage:
 //
-//	go run ./cmd/dtrbench [-o BENCH_PR7.json] [-benchtime 1s] [-quick]
+//	go run ./cmd/dtrbench [-o BENCH_PR8.json] [-benchtime 1s] [-quick]
+//	go run ./cmd/dtrbench -zoo examples/campaigns/topologies
 package main
 
 import (
@@ -15,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -34,9 +38,10 @@ type (
 
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("o", "BENCH_PR7.json", "output report path ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR8.json", "output report path ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
-	quick := flag.Bool("quick", false, "skip the slow experiment benchmark")
+	quick := flag.Bool("quick", false, "skip the slow series (scale instances, search, experiment)")
+	zoo := flag.String("zoo", "", "directory of Topology-Zoo GML exports: adds one route_zoo/<name> series per file")
 	var obsCLI obs.CLI
 	obsCLI.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -86,6 +91,33 @@ func main() {
 			namedBench{"dtr_search/guided", benchDTRSearch(40, 30, 12, 0.9, true)},
 			namedBench{"experiment_fig2a_tiny", benchExperiment("fig2a")},
 		)
+		for _, spec := range benchkit.ScaleSpecs() {
+			spec := spec
+			benches = append(benches,
+				namedBench{"spf_scale/" + spec.Name, benchSPFScale(spec)},
+				namedBench{"route_scale/" + spec.Name + "/workers=1", benchRouteScale(spec, 1)},
+			)
+			// The parallel series and the sequential-vs-4-worker speedup
+			// ratio stay on the 10k instances; at 100k one series keeps the
+			// report's wall-clock budget honest.
+			if spec.Nodes <= 10_000 {
+				benches = append(benches,
+					namedBench{"route_scale/" + spec.Name + "/workers=4", benchRouteScale(spec, 4)},
+					namedBench{"route_scale/" + spec.Name + "/speedup", benchRouteScaleSpeedup(spec)},
+				)
+			}
+		}
+	}
+	if *zoo != "" {
+		files, err := benchkit.ZooFiles(*zoo)
+		if err != nil {
+			fatal(err)
+		}
+		for _, path := range files {
+			path := path
+			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+			benches = append(benches, namedBench{"route_zoo/" + name, benchRouteZoo(path)})
+		}
 	}
 
 	for _, nb := range benches {
@@ -230,6 +262,140 @@ func benchEvaluateDTR(routeWorkers int) func(*testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := ev.EvaluateDTR(w, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// heapMB converts a HeapInuse delta to megabytes, clamping negative deltas
+// (a GC shrinking the heap below the baseline) to zero.
+func heapMB(after, before uint64) float64 {
+	if after <= before {
+		return 0
+	}
+	return float64(after-before) / (1 << 20)
+}
+
+// benchSPFScale times one single-destination SPF tree on a scale instance.
+func benchSPFScale(spec benchkit.ScaleSpec) func(*testing.B) {
+	return func(b *testing.B) {
+		g, _, w, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp := dualtopo.NewSPFComputer(g)
+		var tr dualtopo.SPFTree
+		comp.Tree(0, w, &tr)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			comp.Tree(0, w, &tr)
+		}
+	}
+}
+
+// benchRouteScale times the warm full route of a scale instance and, on the
+// sequential series, records the instance's heap footprint: heap_peak_mb is
+// the HeapInuse high-water right after the cold build+route (before any GC),
+// heap_mb the steady state after collection. Both are deltas against the
+// benchmark's starting heap, so other series don't leak into the figure.
+func benchRouteScale(spec benchkit.ScaleSpec, workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		var msBase runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msBase)
+		g, tm, w, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := dualtopo.NewRoutingPlan(g, tm)
+		plan.SetWorkers(workers)
+		if err := plan.Route(w, tm); err != nil {
+			b.Fatal(err)
+		}
+		var peakMB, steadyMB float64
+		if workers == 1 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			peakMB = heapMB(ms.HeapInuse, msBase.HeapInuse)
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			steadyMB = heapMB(ms.HeapInuse, msBase.HeapInuse)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.Route(w, tm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Reported after the loop: ResetTimer clears any metrics set during
+		// setup.
+		if workers == 1 {
+			b.ReportMetric(peakMB, "heap_peak_mb")
+			b.ReportMetric(steadyMB, "heap_mb")
+		}
+	}
+}
+
+// benchRouteScaleSpeedup measures the same warm route sequentially and with
+// 4 block-sharded workers in every iteration and reports the ratio as
+// par_speedup-x — the higher-is-better metric the regression gate tracks
+// (only across runs at the same GOMAXPROCS; on a single-core runner the
+// ratio is honestly ~1.0).
+func benchRouteScaleSpeedup(spec benchkit.ScaleSpec) func(*testing.B) {
+	return func(b *testing.B) {
+		g, tm, w, err := spec.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq := dualtopo.NewRoutingPlan(g, tm)
+		seq.SetWorkers(1)
+		par := dualtopo.NewRoutingPlan(g, tm)
+		par.SetWorkers(4)
+		if err := seq.Route(w, tm); err != nil {
+			b.Fatal(err)
+		}
+		if err := par.Route(w, tm); err != nil {
+			b.Fatal(err)
+		}
+		var tSeq, tPar time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if err := seq.Route(w, tm); err != nil {
+				b.Fatal(err)
+			}
+			t1 := time.Now()
+			if err := par.Route(w, tm); err != nil {
+				b.Fatal(err)
+			}
+			tSeq += t1.Sub(t0)
+			tPar += time.Since(t1)
+		}
+		if tPar > 0 {
+			b.ReportMetric(float64(tSeq)/float64(tPar), "par_speedup-x")
+		}
+	}
+}
+
+// benchRouteZoo times the warm full route of one imported Topology-Zoo
+// graph under dense gravity demand.
+func benchRouteZoo(path string) func(*testing.B) {
+	return func(b *testing.B) {
+		g, tm, w, err := benchkit.ZooInstance(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := dualtopo.NewRoutingPlan(g, tm)
+		if err := plan.Route(w, tm); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := plan.Route(w, tm); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -42,9 +42,12 @@ func main() {
 		theta     = flag.Float64("theta", 25, "SLA delay bound in ms")
 		f         = flag.Float64("f", 0.30, "high-priority volume fraction")
 		k         = flag.Float64("k", 0.10, "high-priority SD-pair density")
+		hpModel   = flag.String("hp", "random", "high-priority traffic model: "+traffic.ModelList())
+		sinks     = flag.Int("sinks", 0, "sink-model server count (0 = model default)")
+		lpSinks   = flag.Int("lp-sinks", 0, "low-priority gravity sink count: 0 = dense n x n gravity; s > 0 = sink-limited gravity with s destinations (O(s*n) memory, required past a few thousand nodes)")
 		util      = flag.Float64("util", 0.6, "target average link utilization")
 		seed      = flag.Uint64("seed", 1, "random seed")
-		budget    = flag.String("budget", "small", "search budget preset: tiny|small|paper")
+		budget    = flag.String("budget", "small", "search budget preset: smoke|tiny|small|paper")
 		jsonOut   = flag.String("json", "", "write weights and costs as JSON to this file")
 		traceOut  = flag.String("trace", "", "write the DTR search trajectory as JSONL to this file")
 		multi     = flag.Int("multistart", 1, "portfolio size: run this many diverse seeded DTR trajectories and keep the best (1 = plain search)")
@@ -73,12 +76,13 @@ func main() {
 
 	var inst *experiments.Instance
 	if *graphFile != "" {
-		inst, err = instanceFromFile(*graphFile, *kind, *theta, *f, *k, *util, *seed)
+		inst, err = instanceFromFile(*graphFile, *kind, *hpModel, *theta, *f, *k, *util, *sinks, *lpSinks, *seed)
 	} else {
 		spec := experiments.InstanceSpec{
 			Topology: *topoName, Nodes: *nodes, Links: *links,
 			Kind: parseKind(*kind), ThetaMs: *theta,
-			F: *f, K: *k, TargetUtil: *util, Seed: *seed,
+			F: *f, K: *k, HPModel: *hpModel, Sinks: *sinks,
+			LPSinks: *lpSinks, TargetUtil: *util, Seed: *seed,
 		}
 		inst, err = spec.Build()
 	}
@@ -236,7 +240,7 @@ func parseKind(s string) eval.Kind {
 
 // instanceFromFile loads a JSON topology and synthesizes traffic for it with
 // the same models the generated instances use.
-func instanceFromFile(path, kind string, theta, f, k, util float64, seed uint64) (*experiments.Instance, error) {
+func instanceFromFile(path, kind, hpModel string, theta, f, k, util float64, sinks, lpSinks int, seed uint64) (*experiments.Instance, error) {
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -250,8 +254,14 @@ func instanceFromFile(path, kind string, theta, f, k, util float64, seed uint64)
 		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(seed, 0xf11e))
-	tl := traffic.Gravity(g.NumNodes(), rng)
-	th, err := traffic.RandomHighPriority(g.NumNodes(), k, f, tl.Total(), rng)
+	var tl *traffic.Matrix
+	if lpSinks > 0 {
+		tl = traffic.GravitySinks(g.NumNodes(), lpSinks, rng)
+	} else {
+		tl = traffic.Gravity(g.NumNodes(), rng)
+	}
+	hp := traffic.Params{}.WithShorthand(f, k, sinks)
+	th, err := traffic.GenerateHighPriority(hpModel, g, tl.Total(), hp, rng)
 	if err != nil {
 		return nil, err
 	}

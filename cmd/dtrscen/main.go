@@ -92,7 +92,7 @@ func runFlags(cfg *runConfig) *flag.FlagSet {
 	fs.StringVar(&cfg.preset, "preset", "", "bundled preset name (see 'dtrscen list')")
 	fs.StringVar(&cfg.budget, "budget", "", "override search budget tier: tiny|small|paper")
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent trials (0 = GOMAXPROCS)")
-	fs.IntVar(&cfg.routeWorkers, "route-workers", 0, "SPF workers inside each trial's full evaluations (results are identical; useful when -workers is small on a many-core machine)")
+	fs.IntVar(&cfg.routeWorkers, "route-workers", 0, "SPF workers inside each trial's full evaluations: 0 = auto from instance size and GOMAXPROCS (sequential while several trials run at once), 1 = sequential, n > 1 = fixed pool (results are identical either way)")
 	fs.Float64Var(&cfg.guide, "guide", 0, "guided-step probability in [0,1] for every trial's DTR search (0 = paper's blind sampling)")
 	fs.BoolVar(&cfg.prune, "prune", false, "enable the routing-invariance candidate prune in every trial's DTR search")
 	fs.IntVar(&cfg.trials, "trials", 0, "override trials per load point")

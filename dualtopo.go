@@ -133,7 +133,9 @@ func ImportTopology(path string, p TopologyParams, rng *rand.Rand) (*Graph, erro
 
 // Traffic matrices (§5.1.2).
 type (
-	// TrafficMatrix is a dense |V|×|V| demand matrix in Mbps.
+	// TrafficMatrix is a |V|×|V| demand matrix in Mbps, stored column-major
+	// with all-zero destination columns left unallocated — sink-limited
+	// matrices cost O(destinations·n), not O(n²).
 	TrafficMatrix = traffic.Matrix
 	// Demand is one nonzero matrix entry.
 	Demand = traffic.Demand
@@ -152,6 +154,14 @@ func NewTrafficMatrix(n int) *TrafficMatrix { return traffic.NewMatrix(n) }
 
 // GravityMatrix generates the low-priority gravity-model matrix (Eq. 6–7).
 func GravityMatrix(n int, rng *rand.Rand) *TrafficMatrix { return traffic.Gravity(n, rng) }
+
+// GravitySinksMatrix generates a sink-limited gravity matrix: every source
+// sends to sinks destinations spread evenly over the ID space, costing
+// O(sinks·n) memory instead of the dense model's O(n²) — the only feasible
+// shape past a few thousand nodes.
+func GravitySinksMatrix(n, sinks int, rng *rand.Rand) *TrafficMatrix {
+	return traffic.GravitySinks(n, sinks, rng)
+}
 
 // RandomHighPriorityMatrix generates the random high-priority model: density
 // k of SD pairs, total volume a fraction f of all traffic.

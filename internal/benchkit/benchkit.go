@@ -85,7 +85,7 @@ func Step(w, base dualtopo.Weights, i, m int) int {
 // hierarchical ISP (20 PoPs x 25 routers, ~1000 bidirectional links) with
 // gravity low-priority demand plus random high-priority pairs, scaled to the
 // paper's 60% average utilization. This is the workload the guided-search
-// acceptance numbers (BENCH_PR7.json's dtr_search series) are measured on.
+// acceptance numbers (the committed baseline's dtr_search series) are measured on.
 func SearchInstance(kind dualtopo.ObjectiveKind) (*dualtopo.Evaluator, error) {
 	spec := scenario.InstanceSpec{
 		Topology:   "hier",

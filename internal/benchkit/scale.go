@@ -1,0 +1,136 @@
+package benchkit
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dualtopo"
+	"dualtopo/internal/topo"
+	"dualtopo/internal/traffic"
+)
+
+// ScaleSpec names one large-scale routing benchmark instance. Traffic is
+// sink-limited gravity (Sinks active destinations), because a dense n×n
+// matrix is O(n²) memory and would dominate — and distort — any measurement
+// of the routing core at these sizes.
+type ScaleSpec struct {
+	// Name keys the benchmark series ("hier10k", "waxman10k", "hier100k").
+	Name string
+	// Family is the topo registry family generating the graph.
+	Family string
+	// Nodes is the target node count.
+	Nodes int
+	// Sinks is the active-destination count of the gravity matrix.
+	Sinks int
+}
+
+// ScaleSpecs enumerates the canonical scale instances: 10k-node hierarchical
+// ISP and Waxman geometric graphs, and a 100k-node hierarchical ISP. Waxman
+// stops at 10k because its generator is O(n²) in the node count.
+func ScaleSpecs() []ScaleSpec {
+	return []ScaleSpec{
+		{Name: "hier10k", Family: "hier", Nodes: 10_000, Sinks: 64},
+		{Name: "waxman10k", Family: "waxman", Nodes: 10_000, Sinks: 64},
+		{Name: "hier100k", Family: "hier", Nodes: 100_000, Sinks: 16},
+	}
+}
+
+// ScaleSpecByName returns the named canonical scale instance.
+func ScaleSpecByName(name string) (ScaleSpec, error) {
+	for _, s := range ScaleSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return ScaleSpec{}, fmt.Errorf("benchkit: unknown scale instance %q", name)
+}
+
+// Build materializes the spec: topology, sink-limited gravity matrix, and
+// paper-range [1, 20] weights, all seeded deterministically from the spec.
+func (s ScaleSpec) Build() (*dualtopo.Graph, *dualtopo.TrafficMatrix, dualtopo.Weights, error) {
+	rng := rand.New(rand.NewPCG(uint64(s.Nodes), 0x5ca1e))
+	var p topo.Params
+	switch s.Family {
+	case "hier":
+		pops, routers, err := hierShape(s.Nodes)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		p = topo.Params{Pops: pops, RoutersPerPop: routers}
+	case "waxman":
+		// Alpha is tuned for sparse ISP-like degree (~10) at 10k nodes; the
+		// family default (0.25) would produce millions of links.
+		p = topo.Params{Nodes: s.Nodes, Alpha: 0.002, Beta: 0.6}
+	default:
+		return nil, nil, nil, fmt.Errorf("benchkit: scale family %q not supported", s.Family)
+	}
+	g, err := topo.Generate(s.Family, p, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tm := traffic.GravitySinks(g.NumNodes(), s.Sinks, rng)
+	w := dualtopo.UniformWeights(g.NumEdges())
+	for i := range w {
+		w[i] = 1 + rng.IntN(20)
+	}
+	return g, tm, w, nil
+}
+
+// hierShape factors a node count into the (pops, routersPerPop) pair the
+// canonical scale instances use.
+func hierShape(nodes int) (pops, routers int, err error) {
+	switch nodes {
+	case 10_000:
+		return 100, 100, nil
+	case 100_000:
+		return 250, 400, nil
+	default:
+		return 0, 0, fmt.Errorf("benchkit: no canonical hier shape for %d nodes", nodes)
+	}
+}
+
+// ZooFiles lists the GML topology files under dir in sorted order — the
+// Topology-Zoo sweep corpus (examples/campaigns/topologies in this repo, or
+// any directory of Zoo exports).
+func ZooFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.EqualFold(filepath.Ext(e.Name()), ".gml") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("benchkit: no .gml topologies under %s", dir)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// ZooInstance imports one GML topology and equips it with the standard
+// routing-benchmark traffic: dense gravity (Zoo graphs are small) and
+// [1, 20] weights, seeded deterministically from the file name.
+func ZooInstance(path string) (*dualtopo.Graph, *dualtopo.TrafficMatrix, dualtopo.Weights, error) {
+	var seed uint64
+	for _, c := range filepath.Base(path) {
+		seed = seed*131 + uint64(c)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x200))
+	g, err := topo.Generate("import", topo.Params{Path: path}, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tm := traffic.Gravity(g.NumNodes(), rng)
+	w := dualtopo.UniformWeights(g.NumEdges())
+	for i := range w {
+		w[i] = 1 + rng.IntN(20)
+	}
+	return g, tm, w, nil
+}

@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"dualtopo/internal/obs"
 )
@@ -85,7 +87,11 @@ func (r GateResult) Pass() bool { return len(r.Findings) == 0 }
 //     0-alloc hot paths are a hard-won property and allocation counts are
 //     deterministic, so any increase fails regardless of machine;
 //   - ns/op may regress by at most maxRegress (e.g. 0.25 for +25%), checked
-//     only when both reports ran at the same GOMAXPROCS.
+//     only when both reports ran at the same GOMAXPROCS;
+//   - extra metrics whose name carries an "-x" suffix are higher-is-better
+//     ratios (full/delta-x, par_speedup-x): each must stay within maxRegress
+//     of the baseline ratio and may never vanish, checked under the same
+//     GOMAXPROCS rule as ns/op since speedups depend on the machine shape.
 func Compare(baseline, current Report, maxRegress float64) GateResult {
 	res := GateResult{TimingSkipped: baseline.GOMAXPROCS != current.GOMAXPROCS}
 	byName := make(map[string]Entry, len(current.Benchmarks))
@@ -110,6 +116,39 @@ func Compare(baseline, current Report, maxRegress float64) GateResult {
 						base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/base.NsPerOp-1), 100*maxRegress)})
 			}
 		}
+		if !res.TimingSkipped {
+			res.Findings = append(res.Findings, compareRatios(base, cur, maxRegress)...)
+		}
 	}
 	return res
+}
+
+// compareRatios gates the higher-is-better "-x" ratio metrics of one series.
+func compareRatios(base, cur Entry, maxRegress float64) []Finding {
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		if strings.HasSuffix(name, "-x") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, name := range names {
+		bv := base.Metrics[name]
+		if bv <= 0 {
+			continue
+		}
+		cv, ok := cur.Metrics[name]
+		if !ok {
+			out = append(out, Finding{base.Name,
+				fmt.Sprintf("ratio metric %s missing from current report", name)})
+			continue
+		}
+		if floor := bv * (1 - maxRegress); cv < floor {
+			out = append(out, Finding{base.Name,
+				fmt.Sprintf("%s shrank %.2f -> %.2f (-%.0f%%, limit -%.0f%%)",
+					name, bv, cv, 100*(1-cv/bv), 100*maxRegress)})
+		}
+	}
+	return out
 }

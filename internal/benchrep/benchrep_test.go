@@ -85,6 +85,44 @@ func TestCompareSkipsTimingAcrossGomaxprocs(t *testing.T) {
 	}
 }
 
+func TestCompareRatioMetrics(t *testing.T) {
+	base := report(4, Entry{Name: "route_scale/hier10k", NsPerOp: 1000,
+		Metrics: map[string]float64{"par_speedup-x": 2.0, "heap_mb": 40}})
+
+	// Within the tolerance band: passes (heap_mb has no -x suffix, so its
+	// growth is not a ratio violation).
+	cur := report(4, Entry{Name: "route_scale/hier10k", NsPerOp: 1000,
+		Metrics: map[string]float64{"par_speedup-x": 1.6, "heap_mb": 400}})
+	if res := Compare(base, cur, 0.25); !res.Pass() {
+		t.Fatalf("in-band ratio failed: %v", res.Findings)
+	}
+
+	// Below the floor: fails with the ratio named.
+	cur = report(4, Entry{Name: "route_scale/hier10k", NsPerOp: 1000,
+		Metrics: map[string]float64{"par_speedup-x": 1.2}})
+	res := Compare(base, cur, 0.25)
+	if res.Pass() || !strings.Contains(res.Findings[0].String(), "par_speedup-x") {
+		t.Fatalf("findings = %v, want par_speedup-x violation", res.Findings)
+	}
+
+	// Vanished ratio metric: fails even if timings are fine.
+	cur = report(4, Entry{Name: "route_scale/hier10k", NsPerOp: 1000})
+	res = Compare(base, cur, 0.25)
+	if res.Pass() || !strings.Contains(res.Findings[0].String(), "missing") {
+		t.Fatalf("findings = %v, want missing-metric violation", res.Findings)
+	}
+}
+
+func TestCompareRatioMetricsSkippedAcrossGomaxprocs(t *testing.T) {
+	base := report(4, Entry{Name: "route", NsPerOp: 1000,
+		Metrics: map[string]float64{"par_speedup-x": 2.0}})
+	cur := report(1, Entry{Name: "route", NsPerOp: 1000,
+		Metrics: map[string]float64{"par_speedup-x": 1.0}})
+	if res := Compare(base, cur, 0.25); !res.Pass() {
+		t.Fatalf("ratio gated across GOMAXPROCS shapes: %v", res.Findings)
+	}
+}
+
 func TestCompareMissingBenchmark(t *testing.T) {
 	base := report(1, Entry{Name: "spf"}, Entry{Name: "route"})
 	cur := report(1, Entry{Name: "spf"})
@@ -118,9 +156,9 @@ func TestLoadFile(t *testing.T) {
 }
 
 // TestCommittedBaselineLoads guards the committed baseline file itself: the
-// gate job is vacuous if BENCH_PR4.json ever becomes unreadable.
+// gate job is vacuous if BENCH_PR8.json ever becomes unreadable.
 func TestCommittedBaselineLoads(t *testing.T) {
-	r, err := LoadFile(filepath.Join("..", "..", "BENCH_PR4.json"))
+	r, err := LoadFile(filepath.Join("..", "..", "BENCH_PR8.json"))
 	if err != nil {
 		t.Fatal(err)
 	}

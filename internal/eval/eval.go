@@ -279,7 +279,9 @@ func (e *Evaluator) Clone() *Evaluator {
 // routing passes (EvaluateSTR/EvaluateDTR and the Objective* fast paths):
 // destinations are sharded across per-worker SPF computers and reduced in
 // destination order, so results stay bitwise-identical to sequential
-// routing. n <= 1 restores sequential routing. Callers that evaluate on
+// routing. n == 1 restores sequential routing; n == 0 picks a block-aware
+// automatic pool size from the instance size and GOMAXPROCS (sequential on
+// small instances). Callers that evaluate on
 // evaluator pools should keep pool members sequential and scope parallel
 // routing to single-threaded phases (e.g. a search's full refresh), or the
 // pools oversubscribe the machine.

@@ -39,6 +39,17 @@ func Tiny() Preset {
 	return Preset{Name: "tiny", DTR: b.DTR, STR: b.STR, Points: 2, Parallel: 2, Trials: 1}
 }
 
+// Smoke returns the minimal budget for exercising CLI paths on very large
+// (10k-node-class) instances: just enough iterations to drive both searches'
+// accept and diversification machinery, so a smoke run finishes in seconds
+// where the tiny preset would take minutes.
+func Smoke() Preset {
+	b := scenario.TinyBudget()
+	b.DTR.N, b.DTR.K, b.DTR.M, b.DTR.Neighbors = 12, 8, 6, 2
+	b.STR.Iterations, b.STR.Candidates, b.STR.M = 30, 2, 10
+	return Preset{Name: "smoke", DTR: b.DTR, STR: b.STR, Points: 1, Parallel: 1, Trials: 1}
+}
+
 // Small returns the default preset for regenerating results: a few minutes
 // per figure on commodity hardware.
 func Small() Preset {
@@ -54,9 +65,11 @@ func PaperPreset() Preset {
 	return Preset{Name: "paper", DTR: b.DTR, STR: b.STR, Points: 7, Parallel: 2, Trials: 1}
 }
 
-// PresetByName resolves "tiny", "small" or "paper".
+// PresetByName resolves "smoke", "tiny", "small" or "paper".
 func PresetByName(name string) (Preset, error) {
 	switch strings.ToLower(name) {
+	case "smoke":
+		return Smoke(), nil
 	case "tiny":
 		return Tiny(), nil
 	case "small":
@@ -64,7 +77,7 @@ func PresetByName(name string) (Preset, error) {
 	case "paper":
 		return PaperPreset(), nil
 	default:
-		return Preset{}, fmt.Errorf("experiments: unknown preset %q (tiny|small|paper)", name)
+		return Preset{}, fmt.Errorf("experiments: unknown preset %q (smoke|tiny|small|paper)", name)
 	}
 }
 

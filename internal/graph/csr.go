@@ -58,6 +58,11 @@ func (g *Graph) CSR() *CSR {
 func (g *Graph) buildCSR() *CSR {
 	n := g.NumNodes()
 	m := g.NumEdges()
+	// Defense in depth behind the AddArc/New guards: the int32 prefix-sum
+	// arrays below would silently truncate past this point.
+	if err := CheckCounts(n, m); err != nil {
+		panic(err)
+	}
 	c := &CSR{
 		OutStart: make([]int32, n+1),
 		InStart:  make([]int32, n+1),

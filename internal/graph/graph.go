@@ -10,6 +10,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 )
 
@@ -18,6 +19,35 @@ type NodeID int32
 
 // EdgeID is a dense, zero-based directed-arc index.
 type EdgeID int32
+
+// MaxNodes and MaxArcs bound graph sizes so every index fits the 32-bit
+// NodeID/EdgeID types and the CSR's int32 offset arrays (which need one
+// past-the-end slot). Exceeding either fails loudly with a typed error —
+// silent index truncation would corrupt routing state undetectably.
+const (
+	MaxNodes = math.MaxInt32 - 1
+	MaxArcs  = math.MaxInt32 - 1
+)
+
+// ErrTooManyNodes and ErrTooManyArcs are the typed capacity-overflow
+// failures; guards wrap them, so test with errors.Is.
+var (
+	ErrTooManyNodes = errors.New("graph: node count exceeds int32 index space")
+	ErrTooManyArcs  = errors.New("graph: arc count exceeds int32 index space")
+)
+
+// CheckCounts validates that a graph with the given node and arc counts is
+// representable in the 32-bit index layout. Generators that size graphs from
+// user parameters should call it before allocating.
+func CheckCounts(nodes, arcs int) error {
+	if nodes < 0 || nodes > MaxNodes {
+		return fmt.Errorf("%w: %d nodes > max %d", ErrTooManyNodes, nodes, MaxNodes)
+	}
+	if arcs < 0 || arcs > MaxArcs {
+		return fmt.Errorf("%w: %d arcs > max %d", ErrTooManyArcs, arcs, MaxArcs)
+	}
+	return nil
+}
 
 // Edge is a directed arc with a capacity (Mbps) and a propagation delay (ms).
 type Edge struct {
@@ -41,8 +71,12 @@ type Graph struct {
 	csr atomic.Pointer[CSR]
 }
 
-// New returns a graph with n isolated nodes named "n0".."n<n-1>".
+// New returns a graph with n isolated nodes named "n0".."n<n-1>". It panics
+// with an error wrapping ErrTooManyNodes if n exceeds MaxNodes.
 func New(n int) *Graph {
+	if err := CheckCounts(n, 0); err != nil {
+		panic(err)
+	}
 	g := &Graph{
 		names: make([]string, n),
 		out:   make([][]EdgeID, n),
@@ -92,14 +126,19 @@ func (g *Graph) NodeByName(name string) (NodeID, bool) {
 }
 
 // AddArc appends a directed arc and returns its ID. It panics if either
-// endpoint is out of range or the arc is a self-loop; topology construction
-// bugs should fail fast rather than corrupt later routing computations.
+// endpoint is out of range, the arc is a self-loop, or the arc count would
+// exceed MaxArcs (an error wrapping ErrTooManyArcs — never a silently
+// wrapped-around EdgeID); topology construction bugs should fail fast rather
+// than corrupt later routing computations.
 func (g *Graph) AddArc(from, to NodeID, capacity, delay float64) EdgeID {
 	if from == to {
 		panic(fmt.Sprintf("graph: self-loop at node %d", from))
 	}
 	g.checkNode(from)
 	g.checkNode(to)
+	if err := arcCountGuard(len(g.edges)); err != nil {
+		panic(err)
+	}
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Capacity: capacity, Delay: delay})
 	g.out[from] = append(g.out[from], id)
@@ -114,6 +153,16 @@ func (g *Graph) AddLink(u, v NodeID, capacity, delay float64) (uv, vu EdgeID) {
 	uv = g.AddArc(u, v, capacity, delay)
 	vu = g.AddArc(v, u, capacity, delay)
 	return uv, vu
+}
+
+// arcCountGuard rejects appending one more arc to a graph already holding
+// cur arcs when the new ID would not fit EdgeID. Split out so the boundary
+// condition is testable without allocating 2^31 arcs.
+func arcCountGuard(cur int) error {
+	if cur >= MaxArcs {
+		return fmt.Errorf("%w: cannot add arc %d", ErrTooManyArcs, cur)
+	}
+	return nil
 }
 
 func (g *Graph) checkNode(u NodeID) {

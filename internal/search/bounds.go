@@ -49,11 +49,13 @@ func arcsInvariant(plan *spf.Plan, csr *graph.CSR, w, cw spf.Weights, arcs []gra
 		u, v := csr.From[a], csr.To[a]
 		for _, dest := range dests {
 			t := plan.Tree(dest)
-			dv := t.Dist[v]
+			dv := int64(t.Dist[v])
 			if dv == spf.Unreachable {
 				continue // the arc leads nowhere useful for this destination
 			}
-			du := t.Dist[u]
+			// Widen to int64: Disabled weights exceed any finite int32
+			// distance, so the sums below must not wrap.
+			du := int64(t.Dist[u])
 			if du == oldW+dv {
 				return false // on the DAG; its weight moves
 			}

@@ -227,10 +227,10 @@ func newDTRSearch(e *eval.Evaluator, wH0, wL0 spf.Weights, p Params) (*dtrSearch
 // final evaluation): during candidate evaluation the pool's goroutines are
 // the parallelism, and s.e is pool[0], so it must route sequentially there.
 func (s *dtrSearch) parallelRouting(on bool) {
-	if s.p.RouteWorkers > 1 {
+	if s.p.RouteWorkers != 1 {
 		w := 1
 		if on {
-			w = s.p.RouteWorkers
+			w = s.p.RouteWorkers // 0 = block-aware auto
 		}
 		s.e.SetRouteWorkers(w)
 	}

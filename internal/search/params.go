@@ -92,10 +92,12 @@ type Params struct {
 	Workers int
 	// RouteWorkers bounds the SPF worker pool used for the search's full
 	// solution refreshes (initialization, accepts after diversification, and
-	// the final evaluation). 0 or 1 keeps routing sequential. Parallel
-	// routing is bitwise-identical to sequential, so the search trajectory
-	// does not depend on this setting. Candidate evaluations are unaffected:
-	// they already parallelize across Workers.
+	// the final evaluation). 0 (the default) picks a block-aware value from
+	// the instance size and GOMAXPROCS — sequential on small instances,
+	// parallel on large ones; 1 forces sequential routing; n > 1 fixes the
+	// pool size. Parallel routing is bitwise-identical to sequential, so the
+	// search trajectory does not depend on this setting. Candidate
+	// evaluations are unaffected: they already parallelize across Workers.
 	RouteWorkers int
 	// FullEval forces full re-evaluation of every candidate instead of the
 	// incremental delta paths (default). Both modes produce bitwise-identical
@@ -192,7 +194,7 @@ type STRParams struct {
 	Workers int
 	// RouteWorkers bounds the SPF worker pool used for the search's full
 	// evaluations (initialization, diversification refreshes, the final
-	// evaluation); see Params.RouteWorkers.
+	// evaluation); 0 = auto, 1 = sequential, see Params.RouteWorkers.
 	RouteWorkers int
 	// FullEval forces full candidate evaluation; see Params.FullEval.
 	FullEval bool

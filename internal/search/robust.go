@@ -49,7 +49,9 @@ func (s *dtrSearch) robust() bool { return len(s.rStates) > 0 }
 func (s *dtrSearch) initRobust(wH0, wL0 spf.Weights) error {
 	s.sweep = make([]*resilience.Sweeper, len(s.pool))
 	for i, e := range s.pool {
-		s.sweep[i] = resilience.NewSweeper(e, resilience.Options{})
+		// Pool sweepers run concurrently during candidate evaluation, so
+		// each must route sequentially (RouteWorkers 0 would mean auto).
+		s.sweep[i] = resilience.NewSweeper(e, resilience.Options{RouteWorkers: 1})
 	}
 	res, err := s.sweep[0].SweepDTR(wH0, wL0, s.p.Robust.States)
 	if err != nil {

@@ -152,10 +152,10 @@ type strSearch struct {
 // parallelRouting toggles the parallel full-route on the primary evaluator;
 // see dtrSearch.parallelRouting for the scoping rationale.
 func (s *strSearch) parallelRouting(on bool) {
-	if s.p.RouteWorkers > 1 {
+	if s.p.RouteWorkers != 1 {
 		w := 1
 		if on {
-			w = s.p.RouteWorkers
+			w = s.p.RouteWorkers // 0 = block-aware auto
 		}
 		s.e.SetRouteWorkers(w)
 	}

@@ -56,7 +56,7 @@ type DeltaRouter struct {
 	tms  []*traffic.Matrix
 
 	dests []graph.NodeID
-	byID  []int
+	byID  []int32
 	trees []Tree
 	w     Weights
 	valid bool
@@ -103,7 +103,7 @@ type DeltaRouter struct {
 // the support list and its load values.
 type destSave struct {
 	dest      graph.NodeID
-	dist      []int64
+	dist      []int32
 	order     []graph.NodeID
 	nextStart []int32
 	nextArcs  []graph.EdgeID
@@ -122,7 +122,7 @@ func NewDeltaRouter(g *graph.Graph, tms ...*traffic.Matrix) *DeltaRouter {
 		csr:  g.CSR(),
 		comp: NewComputer(g),
 		tms:  tms,
-		byID: make([]int, g.NumNodes()),
+		byID: make([]int32, g.NumNodes()),
 		w:    make(Weights, m),
 	}
 	for i := range r.byID {
@@ -131,7 +131,7 @@ func NewDeltaRouter(g *graph.Graph, tms ...*traffic.Matrix) *DeltaRouter {
 	for _, tm := range tms {
 		for _, d := range tm.ActiveDestinations() {
 			if r.byID[d] == -1 {
-				r.byID[d] = len(r.dests)
+				r.byID[d] = int32(len(r.dests))
 				r.dests = append(r.dests, d)
 			}
 		}
@@ -220,7 +220,7 @@ func (r *DeltaRouter) TreeUsesArc(dest graph.NodeID, id graph.EdgeID) bool {
 		return false
 	}
 	dv := t.Dist[r.csr.To[id]]
-	return dv != unreachable && dv+int64(w) == t.Dist[r.csr.From[id]]
+	return dv != unreachable && dv+int32(w) == t.Dist[r.csr.From[id]]
 }
 
 // DelaysTo returns expected delays from every node to dst given per-arc
@@ -253,7 +253,10 @@ func (r *DeltaRouter) Route(w Weights) error {
 			loads[a] = 0
 		}
 	}
-	maxW := r.comp.maxWFor(r.w)
+	maxW := maxWeight(r.w)
+	if err := checkDistRange(r.g.NumNodes(), maxW); err != nil {
+		return err
+	}
 	for di, dest := range r.dests {
 		r.dirty[di] = true
 		t := &r.trees[di]
@@ -334,8 +337,8 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 				continue // arc tail cannot reach dest: no effect either way
 			}
 			du := t.Dist[r.csr.From[id]]
-			onDAG := wo != Disabled && dv+int64(wo) == du
-			shorter := wn != Disabled && dv+int64(wn) <= du
+			onDAG := wo != Disabled && dv+int32(wo) == du
+			shorter := wn != Disabled && dv+int32(wn) <= du
 			if onDAG || shorter {
 				r.dirty[di] = true
 				r.dirtyList = append(r.dirtyList, di)
@@ -358,10 +361,14 @@ func (r *DeltaRouter) Apply(w Weights, changed []graph.EdgeID) ([]graph.EdgeID, 
 
 	// Recompute dirty trees and their per-destination load vectors. Every
 	// arc in the union of old and new supports is "touched"; all passes are
-	// support-sized, never arc-count-sized.
-	maxW := 0
-	if !pureInc {
-		maxW = r.comp.maxWFor(r.w) // one scan for all dirty full recomputes
+	// support-sized, never arc-count-sized. One weight scan serves both the
+	// bucket-width selection of full recomputes and the int32 distance-range
+	// guard (which the pure-increase path needs too: increases lengthen
+	// distances).
+	maxW := maxWeight(r.w)
+	if err := checkDistRange(r.g.NumNodes(), maxW); err != nil {
+		r.valid = false
+		return nil, err
 	}
 	r.touchList = r.touchList[:0]
 	mark := func(a graph.EdgeID) {

@@ -138,7 +138,7 @@ func (c *Computer) TreeIncrease(w Weights, t *Tree, changed []graph.EdgeID) {
 					continue
 				}
 				dv := t.Dist[csr.OutTo[i]]
-				if dv != unreachable && dv+int64(w[id]) == du {
+				if dv != unreachable && dv+int32(w[id]) == du {
 					newArcs = append(newArcs, id)
 				}
 			}
@@ -177,7 +177,7 @@ func (c *Computer) resettleAffected(w Weights, t *Tree, s *increaseScratch) {
 		t.Dist[f] = unreachable
 	}
 	for _, f := range s.fList {
-		best := int64(unreachable)
+		best := int32(unreachable)
 		lo, hi := csr.OutStart[f], csr.OutStart[f+1]
 		for i := lo; i < hi; i++ {
 			id := csr.OutArcs[i]
@@ -188,8 +188,8 @@ func (c *Computer) resettleAffected(w Weights, t *Tree, s *increaseScratch) {
 			if s.affected[v] {
 				continue // evolving; reached via relaxation below
 			}
-			if dv := t.Dist[v]; dv != unreachable && dv+int64(w[id]) < best {
-				best = dv + int64(w[id])
+			if dv := t.Dist[v]; dv != unreachable && dv+int32(w[id]) < best {
+				best = dv + int32(w[id])
 			}
 		}
 		if best != unreachable {
@@ -211,7 +211,7 @@ func (c *Computer) resettleAffected(w Weights, t *Tree, s *increaseScratch) {
 			if !s.affected[v] {
 				continue // unaffected distances are already optimal
 			}
-			if alt := du + int64(w[id]); alt < t.Dist[v] {
+			if alt := du + int32(w[id]); alt < t.Dist[v] {
 				t.Dist[v] = alt
 				h.push(v, alt)
 			}

@@ -79,7 +79,7 @@ func pick(w Weights, arcs []graph.EdgeID) []int {
 func cloneTree(t *Tree) Tree {
 	return Tree{
 		Dest:      t.Dest,
-		Dist:      append([]int64(nil), t.Dist...),
+		Dist:      append([]int32(nil), t.Dist...),
 		Order:     append([]graph.NodeID(nil), t.Order...),
 		NextStart: append([]int32(nil), t.NextStart...),
 		NextArcs:  append([]graph.EdgeID(nil), t.NextArcs...),

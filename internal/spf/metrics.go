@@ -23,6 +23,14 @@ var met = struct {
 	sampleTick  obs.Counter    // local sampling clock, not exported
 	dirtySize   *obs.Histogram // sampled: dirty destinations per Apply
 	changedArcs *obs.Histogram // sampled: changed arcs per Apply
+
+	// Parallel-route shape of the last block-sharded MultiPlan.Route:
+	// the destination-block claim granularity and how many pool workers
+	// actually claimed work (occupancy < pool size means the block size is
+	// too coarse for the destination count). Gauge.Set is one atomic store,
+	// preserving the route path's AllocsPerRun == 0 pin.
+	routeBlockSize       *obs.Gauge
+	routeWorkerOccupancy *obs.Gauge
 }{
 	treeBucket:  obs.Default().CounterVec("spf_trees_total", "SPF trees computed from scratch, by queue implementation.", "queue").With("bucket"),
 	treeHeap:    obs.Default().CounterVec("spf_trees_total", "SPF trees computed from scratch, by queue implementation.", "queue").With("heap"),
@@ -35,6 +43,9 @@ var met = struct {
 	reverts:     obs.Default().Counter("spf_delta_reverts_total", "DeltaRouter.Revert rollbacks."),
 	dirtySize:   obs.Default().Histogram("spf_delta_dirty_trees", "Sampled dirty-destination count per incremental Apply.", obs.ExpBuckets(1, 2, 12)),
 	changedArcs: obs.Default().Histogram("spf_delta_changed_arcs", "Sampled changed-arc count per incremental Apply.", obs.ExpBuckets(1, 2, 12)),
+
+	routeBlockSize:       obs.Default().Gauge("spf_route_block_size", "Destination-block claim granularity of the last parallel MultiPlan.Route."),
+	routeWorkerOccupancy: obs.Default().Gauge("spf_route_worker_occupancy", "Workers that claimed at least one destination block in the last parallel MultiPlan.Route."),
 }
 
 // metricsSampleRate thins the size-distribution histograms: one Apply in

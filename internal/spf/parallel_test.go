@@ -66,8 +66,8 @@ func TestWideWeightsFallBackToHeap(t *testing.T) {
 		c.Tree(graph.NodeID(dest), small, &ts)
 		c.Tree(graph.NodeID(dest), wide, &tw)
 		for u := range ts.Dist {
-			if ts.Dist[u]*int64(scale) != tw.Dist[u] {
-				t.Fatalf("dest %d: scaled Dist[%d] = %d, want %d", dest, u, tw.Dist[u], ts.Dist[u]*int64(scale))
+			if ts.Dist[u]*int32(scale) != tw.Dist[u] {
+				t.Fatalf("dest %d: scaled Dist[%d] = %d, want %d", dest, u, tw.Dist[u], ts.Dist[u]*int32(scale))
 			}
 		}
 		for u := 0; u < g.NumNodes(); u++ {

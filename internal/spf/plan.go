@@ -1,6 +1,7 @@
 package spf
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -19,7 +20,7 @@ type MultiPlan struct {
 	comp  *Computer
 	dests []graph.NodeID // union of active destinations across matrices
 	trees []Tree         // parallel to dests
-	byID  []int          // node -> index into dests, -1 if inactive
+	byID  []int32        // node -> index into dests, -1 if inactive
 
 	// Loads[i] is the per-arc volume of the i-th matrix after Route.
 	Loads [][]float64
@@ -30,10 +31,15 @@ type MultiPlan struct {
 
 	tmsBuf []*traffic.Matrix // Route's copy of the variadic matrix list
 
-	// workers bounds the SPF worker pool Route shards destinations across;
-	// <= 1 keeps the sequential path. Parallel state is built lazily.
+	// workers bounds the SPF worker pool Route shards destination blocks
+	// across: 1 is the sequential path (the constructor default), 0 resolves
+	// automatically per Route from instance size and GOMAXPROCS, n > 1 pins
+	// the pool size. Parallel state is built lazily.
 	workers int
-	par     *parRoute
+	// blockSize is the contiguous-destination claim granularity of the
+	// parallel path; 0 (default) auto-tunes from instance size.
+	blockSize int
+	par       *parRoute
 }
 
 // NewMultiPlan prepares routing state for the union of destinations active
@@ -43,7 +49,7 @@ func NewMultiPlan(g *graph.Graph, tms ...*traffic.Matrix) *MultiPlan {
 	p := &MultiPlan{
 		g:    g,
 		comp: NewComputer(g),
-		byID: make([]int, g.NumNodes()),
+		byID: make([]int32, g.NumNodes()),
 	}
 	for i := range p.byID {
 		p.byID[i] = -1
@@ -51,7 +57,7 @@ func NewMultiPlan(g *graph.Graph, tms ...*traffic.Matrix) *MultiPlan {
 	for _, tm := range tms {
 		for _, d := range tm.ActiveDestinations() {
 			if p.byID[d] == -1 {
-				p.byID[d] = len(p.dests)
+				p.byID[d] = int32(len(p.dests))
 				p.dests = append(p.dests, d)
 			}
 		}
@@ -62,6 +68,7 @@ func NewMultiPlan(g *graph.Graph, tms ...*traffic.Matrix) *MultiPlan {
 		p.Loads[i] = make([]float64, g.NumEdges())
 	}
 	p.destScratch = make([]float64, g.NumEdges())
+	p.workers = 1
 	return p
 }
 
@@ -86,15 +93,80 @@ func (p *MultiPlan) CloneState() *MultiPlan {
 		c.Loads[i] = make([]float64, p.g.NumEdges())
 	}
 	c.destScratch = make([]float64, p.g.NumEdges())
+	c.workers = 1
 	return c
 }
 
-// SetWorkers bounds the SPF worker pool Route shards destinations across.
-// n <= 1 restores the sequential path. Parallel and sequential routing are
-// bitwise-identical: workers only compute per-destination contributions,
-// which a single ordered reduction then folds exactly as the sequential
-// loop would.
-func (p *MultiPlan) SetWorkers(n int) { p.workers = n }
+// SetWorkers bounds the SPF worker pool Route shards destination blocks
+// across. n == 1 (or negative) restores the sequential path; n == 0 selects
+// the worker count automatically per Route from the instance's work volume
+// (destinations × nodes) and GOMAXPROCS — small instances stay sequential,
+// large ones fan out. Parallel and sequential routing are bitwise-identical:
+// workers only compute per-destination contributions, which a single ordered
+// reduction then folds exactly as the sequential loop would.
+func (p *MultiPlan) SetWorkers(n int) {
+	if n < 0 {
+		n = 1
+	}
+	p.workers = n
+}
+
+// SetBlockSize overrides the contiguous-destination claim granularity of
+// the parallel path. n <= 0 restores auto-tuning (see autoBlockSize). Any
+// block size yields bitwise-identical loads; the knob only trades claim
+// contention against load balance.
+func (p *MultiPlan) SetBlockSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.blockSize = n
+}
+
+// autoWorkers picks the worker count for SetWorkers(0): sequential below a
+// work-volume threshold (the fork/join and claim overhead dwarfs tiny
+// instances), else one worker per core capped by the destination count.
+func autoWorkers(numDests, numNodes int) int {
+	if int64(numDests)*int64(numNodes) < autoSeqWork {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > numDests {
+		w = numDests
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// autoSeqWork is the destinations × nodes volume below which auto worker
+// selection stays sequential. The paper-scale 30-node instances (≤ 900
+// units) route in tens of microseconds — spawning workers there loses — while
+// a 10k-node, 64-destination scale instance (640k units) gains ~core-count.
+const autoSeqWork = 1 << 17
+
+// autoBlockSize picks the contiguous-destination claim granularity: enough
+// blocks to balance claimsPerWorker-ways per worker, but no block so large
+// that one worker's tail claim stalls the join, and never larger than
+// needed to amortize claim overhead on big graphs (per-destination work
+// scales with the node count, so large instances tolerate fine blocks).
+func autoBlockSize(numDests, numNodes, workers int) int {
+	if workers <= 1 || numDests <= workers {
+		return 1
+	}
+	// Aim for ~4 claims per worker so a straggling block can be absorbed.
+	b := numDests / (4 * workers)
+	// Cap by per-destination weight: past ~64k nodes-worth of work per
+	// block, claim overhead is already invisible and smaller blocks only
+	// improve balance.
+	if maxB := 1 << 16 / max(numNodes, 1); b > maxB {
+		b = maxB
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
 
 // Destinations returns the active destination union.
 func (p *MultiPlan) Destinations() []graph.NodeID { return p.dests }
@@ -111,8 +183,16 @@ func (p *MultiPlan) Destinations() []graph.NodeID { return p.dests }
 // engines bitwise-equal.
 func (p *MultiPlan) Route(w Weights, tms ...*traffic.Matrix) error {
 	p.tmsBuf = append(p.tmsBuf[:0], tms...)
-	if p.workers > 1 && len(p.dests) > 1 {
-		return p.routeParallel(w)
+	workers := p.workers
+	if workers == 0 {
+		workers = autoWorkers(len(p.dests), p.g.NumNodes())
+	}
+	maxW := maxWeight(w) // one scan per weight setting, not per destination
+	if err := checkDistRange(p.g.NumNodes(), maxW); err != nil {
+		return err
+	}
+	if workers > 1 && len(p.dests) > 1 {
+		return p.routeParallel(w, workers, maxW)
 	}
 	for i := range p.tmsBuf {
 		loads := p.Loads[i]
@@ -120,7 +200,6 @@ func (p *MultiPlan) Route(w Weights, tms ...*traffic.Matrix) error {
 			loads[j] = 0
 		}
 	}
-	maxW := p.comp.maxWFor(w) // one scan per weight setting, not per destination
 	for di, dest := range p.dests {
 		t := &p.trees[di]
 		p.comp.tree(dest, w, t, maxW)
@@ -164,6 +243,7 @@ type parRoute struct {
 	scratch    [][]float64 // per worker, dense per-arc staging (kept zeroed)
 	demandBufs [][]float64 // per worker
 	fns        []func()
+	claimed    []int // per worker, destinations processed in the last Route
 
 	// supArcs/supVals[di][mi] hold destination di's contribution to matrix
 	// mi as a compacted support list, the input of the ordered reduction.
@@ -171,23 +251,20 @@ type parRoute struct {
 	supVals [][][]float64
 	errs    []error // per destination, for deterministic error selection
 
-	w    Weights
-	maxW int // bucket-width selector, computed once per Route
-	next atomic.Int64
-	wg   sync.WaitGroup
+	w     Weights
+	maxW  int // bucket-width selector, computed once per Route
+	block int // contiguous destinations per claim
+	next  atomic.Int64
+	wg    sync.WaitGroup
 }
 
-// ensurePar sizes the parallel state for the current worker count and
-// matrix count, building it lazily so sequential users pay nothing.
-func (p *MultiPlan) ensurePar(nmat int) *parRoute {
+// ensurePar sizes the parallel state for the given worker count and matrix
+// count, building it lazily so sequential users pay nothing.
+func (p *MultiPlan) ensurePar(nw, nmat int) *parRoute {
 	pr := p.par
 	if pr == nil {
 		pr = &parRoute{p: p}
 		p.par = pr
-	}
-	nw := p.workers
-	if nw > len(p.dests) {
-		nw = len(p.dests)
 	}
 	for len(pr.comps) < nw {
 		wk := len(pr.comps)
@@ -195,6 +272,7 @@ func (p *MultiPlan) ensurePar(nmat int) *parRoute {
 		pr.scratch = append(pr.scratch, make([]float64, p.g.NumEdges()))
 		pr.demandBufs = append(pr.demandBufs, make([]float64, p.g.NumNodes()))
 		pr.fns = append(pr.fns, func() { pr.worker(wk) })
+		pr.claimed = append(pr.claimed, 0)
 	}
 	if pr.supArcs == nil {
 		pr.supArcs = make([][][]graph.EdgeID, len(p.dests))
@@ -211,23 +289,40 @@ func (p *MultiPlan) ensurePar(nmat int) *parRoute {
 }
 
 // routeParallel shards the destinations of the Route call across the worker
-// pool, then folds the per-destination support lists into the aggregate
-// loads in ascending destination order — the sequential path's exact
-// floating-point summation sequence.
-func (p *MultiPlan) routeParallel(w Weights) error {
-	pr := p.ensurePar(len(p.tmsBuf))
-	pr.w = w
-	pr.maxW = maxWeight(w)
-	nw := p.workers
+// pool in contiguous blocks, then folds the per-destination support lists
+// into the aggregate loads in ascending destination order — the sequential
+// path's exact floating-point summation sequence. Block claiming only
+// changes which worker computes which slot, never the reduction order, so
+// results are bitwise-identical at any worker count and block size.
+func (p *MultiPlan) routeParallel(w Weights, workers, maxW int) error {
+	nw := workers
 	if nw > len(p.dests) {
 		nw = len(p.dests)
 	}
+	pr := p.ensurePar(nw, len(p.tmsBuf))
+	pr.w = w
+	pr.maxW = maxW
+	pr.block = p.blockSize
+	if pr.block <= 0 {
+		pr.block = autoBlockSize(len(p.dests), p.g.NumNodes(), nw)
+	}
 	pr.next.Store(0)
+	for i := 0; i < nw; i++ {
+		pr.claimed[i] = 0
+	}
 	pr.wg.Add(nw)
 	for i := 0; i < nw; i++ {
 		go pr.fns[i]()
 	}
 	pr.wg.Wait()
+	met.routeBlockSize.Set(float64(pr.block))
+	busy := 0
+	for i := 0; i < nw; i++ {
+		if pr.claimed[i] > 0 {
+			busy++
+		}
+	}
+	met.routeWorkerOccupancy.Set(float64(busy))
 	for di := range p.dests {
 		if err := pr.errs[di]; err != nil {
 			return err
@@ -249,18 +344,29 @@ func (p *MultiPlan) routeParallel(w Weights) error {
 	return nil
 }
 
-// worker claims destinations off the shared counter until none remain. Any
-// claim order yields the same result: workers only fill per-destination
-// slots, and the reduction replays them in destination order.
+// worker claims contiguous destination blocks off the shared counter until
+// none remain. Blocks amortize the claim atomic and keep each worker's tree
+// and scratch state walking adjacent destinations; any claim order yields
+// the same result, because workers only fill per-destination slots and the
+// reduction replays them in destination order.
 func (pr *parRoute) worker(wk int) {
 	defer pr.wg.Done()
 	nd := len(pr.p.dests)
+	b := int64(pr.block)
 	for {
-		di := int(pr.next.Add(1)) - 1
-		if di >= nd {
+		end := pr.next.Add(b)
+		start := int(end - b)
+		if start >= nd {
 			return
 		}
-		pr.errs[di] = pr.routeDest(wk, di)
+		stop := int(end)
+		if stop > nd {
+			stop = nd
+		}
+		pr.claimed[wk] += stop - start
+		for di := start; di < stop; di++ {
+			pr.errs[di] = pr.routeDest(wk, di)
+		}
 	}
 }
 
@@ -351,8 +457,12 @@ func (p *Plan) CloneState() *Plan {
 }
 
 // SetWorkers bounds the SPF worker pool used by Route; see
-// MultiPlan.SetWorkers.
+// MultiPlan.SetWorkers (1 = sequential, 0 = auto, n > 1 = fixed).
 func (p *Plan) SetWorkers(n int) { p.mp.SetWorkers(n) }
+
+// SetBlockSize overrides the parallel path's destination-block granularity;
+// see MultiPlan.SetBlockSize.
+func (p *Plan) SetBlockSize(n int) { p.mp.SetBlockSize(n) }
 
 // Destinations returns the active destination set.
 func (p *Plan) Destinations() []graph.NodeID { return p.mp.Destinations() }

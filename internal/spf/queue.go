@@ -34,8 +34,8 @@ const maxBucketWeight = 1024
 // live distances to one bucket.
 type bucketQueue struct {
 	buckets [][]graph.NodeID
-	mask    int64 // len(buckets)-1, buckets length is a power of two
-	cur     int64 // distance currently being drained
+	mask    int32 // len(buckets)-1, buckets length is a power of two
+	cur     int32 // distance currently being drained
 	count   int   // live entries across all buckets
 }
 
@@ -50,12 +50,12 @@ func (q *bucketQueue) reset(width int) {
 	if size > len(q.buckets) {
 		q.buckets = append(q.buckets, make([][]graph.NodeID, size-len(q.buckets))...)
 	}
-	q.mask = int64(size) - 1
+	q.mask = int32(size) - 1
 	q.cur = 0
 	q.count = 0
 }
 
-func (q *bucketQueue) push(u graph.NodeID, d int64) {
+func (q *bucketQueue) push(u graph.NodeID, d int32) {
 	i := d & q.mask
 	q.buckets[i] = append(q.buckets[i], u)
 	q.count++
@@ -65,7 +65,7 @@ func (q *bucketQueue) push(u graph.NodeID, d int64) {
 // the distance simply q.cur: every entry in the bucket q.cur indexes has
 // distance exactly q.cur (smaller ones were drained when cur passed them,
 // larger ones live in other buckets).
-func (q *bucketQueue) pop() (graph.NodeID, int64) {
+func (q *bucketQueue) pop() (graph.NodeID, int32) {
 	i := q.cur & q.mask
 	for len(q.buckets[i]) == 0 {
 		q.cur++
@@ -78,13 +78,13 @@ func (q *bucketQueue) pop() (graph.NodeID, int64) {
 	return u, q.cur
 }
 
-// heap4 is an indexed 4-ary min-heap keyed on int64 distances with
+// heap4 is an indexed 4-ary min-heap keyed on int32 distances with
 // decrease-key: each node appears at most once, so the heap never exceeds
 // the node count and pops need no staleness filtering. 4-ary keeps the
 // sift depth half of a binary heap's with all children in one cache line.
 type heap4 struct {
 	nodes []graph.NodeID
-	dists []int64
+	dists []int32
 	pos   []int32 // node -> heap index + 1; 0 when absent
 }
 
@@ -109,7 +109,7 @@ func (h *heap4) len() int { return len(h.nodes) }
 
 // push inserts u at distance d, or decreases u's key when it is already
 // queued with a larger one.
-func (h *heap4) push(u graph.NodeID, d int64) {
+func (h *heap4) push(u graph.NodeID, d int32) {
 	if i := h.pos[u]; i != 0 {
 		if d < h.dists[i-1] {
 			h.dists[i-1] = d
@@ -123,7 +123,7 @@ func (h *heap4) push(u graph.NodeID, d int64) {
 	h.up(len(h.nodes) - 1)
 }
 
-func (h *heap4) pop() (graph.NodeID, int64) {
+func (h *heap4) pop() (graph.NodeID, int32) {
 	u, d := h.nodes[0], h.dists[0]
 	h.pos[u] = 0
 	last := len(h.nodes) - 1

@@ -6,6 +6,7 @@
 package spf
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -67,14 +68,40 @@ func maxWeight(w Weights) int {
 	return max
 }
 
-// unreachable marks nodes with no path to the destination.
-const unreachable = math.MaxInt64
+// unreachable marks nodes with no path to the destination. Distances are
+// int32 (the compact tree layout halves the former int64 Dist array);
+// checkDistRange guarantees every finite distance stays strictly below it.
+const unreachable = math.MaxInt32
 
 // Unreachable is the Tree.Dist value of nodes with no path to the
 // destination, exported for callers inspecting tree distances directly
 // (e.g. the search's routing-invariance bound checks). Guard with it before
 // doing arithmetic on a distance: adding any weight to it overflows.
 const Unreachable = unreachable
+
+// ErrDistRange reports that node count × maximum weight could push a path
+// distance past the int32 tree layout. The bound is conservative (longest
+// possible path: every node traversed at the maximum arc weight) so passing
+// it guarantees no Dijkstra relaxation can overflow. Weight searches stay
+// far below it — 100k nodes at the paper's weight cap of 30 is ~3M of the
+// ~2.1B budget — but synthetic inputs fail loudly here, never by silent
+// distance wraparound.
+var ErrDistRange = errors.New("spf: distance range exceeds int32 tree layout")
+
+// CheckDistRange validates that shortest-path distances on a graph with n
+// nodes under w fit the int32 tree layout. Route/Apply entry points call it
+// per weight set; Computer.Tree panics with the same error for API
+// compatibility.
+func CheckDistRange(n int, w Weights) error {
+	return checkDistRange(n, maxWeight(w))
+}
+
+func checkDistRange(n, maxW int) error {
+	if int64(n)*int64(maxW) >= int64(unreachable) {
+		return fmt.Errorf("%w: %d nodes × max weight %d ≥ %d", ErrDistRange, n, maxW, unreachable)
+	}
+	return nil
+}
 
 // Tree is the shortest-path structure rooted at one destination: distances,
 // the ECMP DAG (per-node set of outgoing arcs on shortest paths toward
@@ -95,7 +122,7 @@ const Unreachable = unreachable
 // untouched trees bitwise-identical to a from-scratch recomputation.
 type Tree struct {
 	Dest  graph.NodeID
-	Dist  []int64        // Dist[u]: shortest weighted distance u -> Dest
+	Dist  []int32        // Dist[u]: shortest weighted distance u -> Dest
 	Order []graph.NodeID // reachable nodes sorted by increasing (Dist, ID), Dest first
 
 	// NextStart/NextArcs are the flat ECMP DAG: NextStart is an n+1 offset
@@ -166,28 +193,34 @@ func (c *Computer) SetForceHeap(v bool) { c.forceHeap = v }
 
 // Tree computes the shortest-path DAG toward dest under w, storing the
 // result in t (its flat buffers are reused when large enough, so a warm
-// tree is recomputed without allocating).
+// tree is recomputed without allocating). It panics with an error wrapping
+// ErrDistRange when node count × max weight exceeds the int32 distance
+// layout; error-returning callers should gate with CheckDistRange first
+// (Route/Apply do).
 func (c *Computer) Tree(dest graph.NodeID, w Weights, t *Tree) {
 	c.tree(dest, w, t, c.maxWFor(w))
 }
 
-// maxWFor returns the bucket-width selector for w: the maximum weight scan,
-// skipped entirely when the heap is pinned. All-destinations callers compute
-// it once per weight setting and pass it to tree, instead of rescanning w
-// per destination.
+// maxWFor returns the maximum-weight scan for w: the bucket-width selector
+// and the distance-range bound. All-destinations callers compute it once per
+// weight setting and pass it to tree, instead of rescanning w per
+// destination. It panics with ErrDistRange on overflow (the scan is the
+// guard point every tree build funnels through).
 func (c *Computer) maxWFor(w Weights) int {
-	if c.forceHeap {
-		return maxBucketWeight + 1 // any value past the limit routes to the heap
+	maxW := maxWeight(w)
+	if err := checkDistRange(c.csr.NumNodes(), maxW); err != nil {
+		panic(err)
 	}
-	return maxWeight(w)
+	return maxW
 }
 
-// tree is Tree with the bucket-width selector precomputed.
+// tree is Tree with the bucket-width selector precomputed. maxW must be the
+// true maximum non-Disabled weight, already validated by checkDistRange.
 func (c *Computer) tree(dest graph.NodeID, w Weights, t *Tree, maxW int) {
 	n := c.csr.NumNodes()
 	t.Dest = dest
 	if cap(t.Dist) < n {
-		t.Dist = make([]int64, n)
+		t.Dist = make([]int32, n)
 	}
 	t.Dist = t.Dist[:n]
 	if cap(t.Order) < n {
@@ -202,7 +235,7 @@ func (c *Computer) tree(dest graph.NodeID, w Weights, t *Tree, maxW int) {
 	// Dijkstra from dest over incoming arcs (reverse graph): Dist[u] is the
 	// distance from u to dest in the forward graph. Bounded integer weights
 	// route through the bucket queue; wide ranges fall back to the heap.
-	if maxW <= maxBucketWeight {
+	if maxW <= maxBucketWeight && !c.forceHeap {
 		met.treeBucket.Inc()
 		c.dijkstraBucket(w, t, maxW)
 	} else {
@@ -236,7 +269,7 @@ func (c *Computer) dijkstraBucket(w Weights, t *Tree, maxW int) {
 				continue
 			}
 			v := csr.InFrom[i]
-			alt := du + int64(w[id])
+			alt := du + int32(w[id])
 			if alt < dist[v] {
 				dist[v] = alt
 				q.push(v, alt)
@@ -262,7 +295,7 @@ func (c *Computer) dijkstraHeap(w Weights, t *Tree) {
 				continue
 			}
 			v := csr.InFrom[i]
-			alt := du + int64(w[id])
+			alt := du + int32(w[id])
 			if alt < dist[v] {
 				dist[v] = alt
 				h.push(v, alt)
@@ -276,7 +309,7 @@ func (c *Computer) dijkstraHeap(w Weights, t *Tree) {
 // by queue history; sorting the ties makes the order — and every pass over
 // it — a pure function of the inputs. Runs are typically tiny, so insertion
 // sort per run is cheap and allocation-free.
-func canonicalizeOrder(dist []int64, order []graph.NodeID) {
+func canonicalizeOrder(dist []int32, order []graph.NodeID) {
 	for i := 1; i < len(order); i++ {
 		u := order[i]
 		du := dist[u]
@@ -313,7 +346,7 @@ func (c *Computer) buildNext(w Weights, t *Tree) {
 		if dv == unreachable {
 			continue
 		}
-		if from := csr.From[id]; dv+int64(w[id]) == dist[from] {
+		if from := csr.From[id]; dv+int32(w[id]) == dist[from] {
 			start[from+1]++
 		}
 	}
@@ -322,9 +355,16 @@ func (c *Computer) buildNext(w Weights, t *Tree) {
 	}
 	total := int(start[n])
 	if cap(t.NextArcs) < total {
-		// Grow straight to the arc count: no tree's DAG can exceed it, so
-		// this buffer never reallocates again.
-		t.NextArcs = make([]graph.EdgeID, total, len(w))
+		// Grow with 50% headroom, capped at the arc count. A DAG holds at
+		// most m arcs but typically far fewer; the old grow-straight-to-m
+		// policy cost 4m bytes per tree (the dominant tree allocation at
+		// 10k+ nodes) to save reallocations that the headroom already
+		// absorbs across the ±1 weight steps a search performs.
+		capHint := total + total/2
+		if capHint > len(w) {
+			capHint = len(w)
+		}
+		t.NextArcs = make([]graph.EdgeID, total, capHint)
 	}
 	t.NextArcs = t.NextArcs[:total]
 	cur := c.cursor[:n]
@@ -337,7 +377,7 @@ func (c *Computer) buildNext(w Weights, t *Tree) {
 		if dv == unreachable {
 			continue
 		}
-		if from := csr.From[id]; dv+int64(w[id]) == dist[from] {
+		if from := csr.From[id]; dv+int32(w[id]) == dist[from] {
 			t.NextArcs[cur[from]] = graph.EdgeID(id)
 			cur[from]++
 		}

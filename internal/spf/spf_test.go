@@ -67,7 +67,7 @@ func TestTreeLineDistances(t *testing.T) {
 	c := NewComputer(g)
 	var tr Tree
 	c.Tree(3, Uniform(g.NumEdges()), &tr)
-	want := []int64{3, 2, 1, 0}
+	want := []int32{3, 2, 1, 0}
 	for u, d := range tr.Dist {
 		if d != want[u] {
 			t.Fatalf("Dist[%d] = %d, want %d", u, d, want[u])
@@ -424,9 +424,9 @@ func TestDijkstraAgainstBellmanFord(t *testing.T) {
 	}
 }
 
-func bellmanFord(g *graph.Graph, w Weights, dest graph.NodeID) []int64 {
+func bellmanFord(g *graph.Graph, w Weights, dest graph.NodeID) []int32 {
 	n := g.NumNodes()
-	dist := make([]int64, n)
+	dist := make([]int32, n)
 	for i := range dist {
 		dist[i] = unreachable
 	}
@@ -437,7 +437,7 @@ func bellmanFord(g *graph.Graph, w Weights, dest graph.NodeID) []int64 {
 			if dist[e.To] == unreachable {
 				continue
 			}
-			if alt := dist[e.To] + int64(w[e.ID]); alt < dist[e.From] {
+			if alt := dist[e.To] + int32(w[e.ID]); alt < dist[e.From] {
 				dist[e.From] = alt
 				changed = true
 			}

@@ -48,6 +48,46 @@ func Gravity(n int, rng *rand.Rand) *Matrix {
 	return m
 }
 
+// GravitySinks is the gravity model of Eq. (6) restricted to `sinks`
+// destination nodes (evenly spread over the ID space): every source
+// distributes its Eq.-(7) origin volume over the sink masses only. It keeps
+// the per-source demand mix and mass heterogeneity of Gravity while touching
+// sinks·n pairs instead of n² — the scale-instance form of the paper's
+// "popular servers" pattern, feasible at 10k–100k nodes where a full
+// gravity matrix would need n² storage and quadratic generation time.
+func GravitySinks(n, sinks int, rng *rand.Rand) *Matrix {
+	if sinks <= 0 || sinks > n {
+		sinks = n
+	}
+	m := NewMatrix(n)
+	dests := make([]graph.NodeID, sinks)
+	for i := range dests {
+		dests[i] = graph.NodeID(i * n / sinks)
+	}
+	mass := make([]float64, sinks)
+	totalMass := 0.0
+	for i := range mass {
+		mass[i] = math.Exp(1 + 0.5*rng.Float64())
+		totalMass += mass[i]
+	}
+	for s := 0; s < n; s++ {
+		d := sampleOrigin(rng)
+		denom := totalMass
+		for i, t := range dests {
+			if int(t) == s {
+				denom -= mass[i]
+			}
+		}
+		for i, t := range dests {
+			if int(t) == s {
+				continue
+			}
+			m.Set(graph.NodeID(s), t, d*mass[i]/denom)
+		}
+	}
+	return m
+}
+
 // sampleOrigin draws the total origin volume d_s per Eq. (7).
 func sampleOrigin(rng *rand.Rand) float64 {
 	u := rng.Float64()

@@ -11,26 +11,38 @@ import (
 	"dualtopo/internal/graph"
 )
 
-// Matrix is a dense |V|×|V| traffic matrix in Mbps. The diagonal is always
-// zero: r(s,s) = 0 for all s.
+// Matrix is a |V|×|V| traffic matrix in Mbps. The diagonal is always zero:
+// r(s,s) = 0 for all s. Storage is column-major and lazy: a destination's
+// column is allocated on first write, so a matrix with d active destinations
+// holds d·n float64s instead of n² — the difference between ~763 MB and a
+// few MB for a sink-pattern matrix on a 10k-node graph. A fully populated
+// matrix (gravity over every pair) costs the same as a dense layout.
 type Matrix struct {
-	n int
-	v []float64
+	n    int
+	cols [][]float64 // cols[t][s]; a nil column is all-zero
 }
 
-// NewMatrix returns an all-zero n×n matrix.
+// NewMatrix returns an all-zero n×n matrix. No columns are allocated until
+// demand is written.
 func NewMatrix(n int) *Matrix {
-	return &Matrix{n: n, v: make([]float64, n*n)}
+	return &Matrix{n: n, cols: make([][]float64, n)}
 }
 
 // Size returns the node count n.
 func (m *Matrix) Size() int { return m.n }
 
 // At returns the demand from s to t.
-func (m *Matrix) At(s, t graph.NodeID) float64 { return m.v[int(s)*m.n+int(t)] }
+func (m *Matrix) At(s, t graph.NodeID) float64 {
+	c := m.cols[t]
+	if c == nil {
+		return 0
+	}
+	return c[s]
+}
 
 // Set assigns the demand from s to t. Setting a diagonal entry or a negative
-// volume panics: both indicate a generator bug.
+// volume panics: both indicate a generator bug. Writing zero to an untouched
+// column is a no-op and allocates nothing.
 func (m *Matrix) Set(s, t graph.NodeID, vol float64) {
 	if s == t && vol != 0 {
 		panic(fmt.Sprintf("traffic: self-demand at node %d", s))
@@ -38,7 +50,15 @@ func (m *Matrix) Set(s, t graph.NodeID, vol float64) {
 	if vol < 0 {
 		panic(fmt.Sprintf("traffic: negative demand %g for (%d,%d)", vol, s, t))
 	}
-	m.v[int(s)*m.n+int(t)] = vol
+	c := m.cols[t]
+	if c == nil {
+		if vol == 0 {
+			return
+		}
+		c = make([]float64, m.n)
+		m.cols[t] = c
+	}
+	c[s] = vol
 }
 
 // Add increases the demand from s to t by vol.
@@ -47,8 +67,10 @@ func (m *Matrix) Add(s, t graph.NodeID, vol float64) { m.Set(s, t, m.At(s, t)+vo
 // Total returns the sum of all demands (ηH or ηL in the paper).
 func (m *Matrix) Total() float64 {
 	sum := 0.0
-	for _, x := range m.v {
-		sum += x
+	for _, c := range m.cols {
+		for _, x := range c {
+			sum += x
+		}
 	}
 	return sum
 }
@@ -58,15 +80,21 @@ func (m *Matrix) Scale(factor float64) {
 	if factor < 0 {
 		panic(fmt.Sprintf("traffic: negative scale %g", factor))
 	}
-	for i := range m.v {
-		m.v[i] *= factor
+	for _, c := range m.cols {
+		for i := range c {
+			c[i] *= factor
+		}
 	}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Unallocated columns stay unallocated.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.n)
-	copy(c.v, m.v)
+	for t, col := range m.cols {
+		if col != nil {
+			c.cols[t] = append([]float64(nil), col...)
+		}
+	}
 	return c
 }
 
@@ -76,12 +104,17 @@ type Demand struct {
 	Volume   float64
 }
 
-// Demands returns all nonzero entries in row-major order.
+// Demands returns all nonzero entries in row-major order — the iteration
+// order every consumer (evaluator pair lists, OSPF flow setup) has always
+// seen, preserved independent of the column-major storage.
 func (m *Matrix) Demands() []Demand {
 	var out []Demand
 	for s := 0; s < m.n; s++ {
-		for t := 0; t < m.n; t++ {
-			if vol := m.v[s*m.n+t]; vol > 0 {
+		for t, c := range m.cols {
+			if c == nil {
+				continue
+			}
+			if vol := c[s]; vol > 0 {
 				out = append(out, Demand{graph.NodeID(s), graph.NodeID(t), vol})
 			}
 		}
@@ -92,9 +125,11 @@ func (m *Matrix) Demands() []Demand {
 // NumPairs reports the number of nonzero entries.
 func (m *Matrix) NumPairs() int {
 	count := 0
-	for _, x := range m.v {
-		if x > 0 {
-			count++
+	for _, c := range m.cols {
+		for _, x := range c {
+			if x > 0 {
+				count++
+			}
 		}
 	}
 	return count
@@ -107,8 +142,12 @@ func (m *Matrix) DemandsTo(t graph.NodeID, out []float64) []float64 {
 		out = make([]float64, m.n)
 	}
 	out = out[:m.n]
-	for s := 0; s < m.n; s++ {
-		out[s] = m.v[s*m.n+int(t)]
+	if c := m.cols[t]; c != nil {
+		copy(out, c)
+	} else {
+		for i := range out {
+			out[i] = 0
+		}
 	}
 	return out
 }
@@ -117,9 +156,9 @@ func (m *Matrix) DemandsTo(t graph.NodeID, out []float64) []float64 {
 // one nonzero demand.
 func (m *Matrix) ActiveDestinations() []graph.NodeID {
 	var out []graph.NodeID
-	for t := 0; t < m.n; t++ {
-		for s := 0; s < m.n; s++ {
-			if m.v[s*m.n+t] > 0 {
+	for t, c := range m.cols {
+		for _, x := range c {
+			if x > 0 {
 				out = append(out, graph.NodeID(t))
 				break
 			}

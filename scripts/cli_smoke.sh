@@ -101,10 +101,18 @@ grep -q '"manifest"' "$bin/portfolio.json" || {
 grep -q '"trajectory"' "$bin/ptrace.jsonl" || {
   echo "FAIL: dtropt -multistart trace events lack trajectory indexes"; exit 1; }
 
+echo "== dtropt: 10k-node hier topology with sink-limited traffic (scale path)"
+"$bin/topogen" gen -topo hier -params '{"pops":100,"routers_per_pop":100}' -quiet \
+  -o "$bin/hier10k.json"
+"$bin/dtropt" -budget smoke -graph "$bin/hier10k.json" -lp-sinks 8 \
+  -hp sink-uniform -k 0.00001 >"$bin/hier10k.out"
+grep -q '10000 nodes' "$bin/hier10k.out" || {
+  echo "FAIL: dtropt did not route the 10k-node instance"; exit 1; }
+
 echo "== dtrfail: sampled single-link sweep at the tiny budget"
 "$bin/dtrfail" -budget tiny -kind link -sample 4 >/dev/null
 
 echo "== benchgate: committed baseline gates against itself"
-"$bin/benchgate" -baseline BENCH_PR7.json -current BENCH_PR7.json >/dev/null
+"$bin/benchgate" -baseline BENCH_PR8.json -current BENCH_PR8.json >/dev/null
 
 echo "ok: CLI smoke passed"
