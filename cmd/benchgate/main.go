@@ -11,12 +11,17 @@
 //     are not comparable, and the gate says so instead of guessing;
 //   - any "-x"-suffixed ratio metric (e.g. par_speedup-x, higher is better)
 //     shrinking below baseline*(1 - max-regress), under the same
-//     same-GOMAXPROCS rule as timings.
+//     same-GOMAXPROCS rule as timings;
+//   - any par_speedup-x metric below the absolute -min-speedup floor
+//     (default 1.5), enforced only when the current report ran on a
+//     machine with >= 4 CPUs — this is the gate that proves parallel
+//     routing actually pays off, independent of what the baseline machine
+//     could do (a single-core box honestly reports ~1.0 and is skipped).
 //
 // Usage:
 //
 //	go run ./cmd/dtrbench -o bench_new.json
-//	go run ./cmd/benchgate -baseline BENCH_PR8.json -current bench_new.json
+//	go run ./cmd/benchgate -baseline BENCH_PR9.json -current bench_new.json
 package main
 
 import (
@@ -31,9 +36,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
-	baseline := flag.String("baseline", "BENCH_PR8.json", "committed baseline report")
+	baseline := flag.String("baseline", "BENCH_PR9.json", "committed baseline report")
 	current := flag.String("current", "", "freshly generated report to gate")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	minSpeedup := flag.Float64("min-speedup", 1.5, "absolute par_speedup-x floor, enforced only when the current report ran on >= 4 CPUs (0 disables)")
 	flag.Parse()
 	if *current == "" {
 		log.Fatal("missing -current report")
@@ -52,6 +58,12 @@ func main() {
 	if res.TimingSkipped {
 		fmt.Printf("note: ns/op comparison skipped (baseline GOMAXPROCS=%d, current=%d); alloc gate still applies\n",
 			base.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	if floorFindings, applied := benchrep.SpeedupFloor(cur, *minSpeedup); applied {
+		res.Findings = append(res.Findings, floorFindings...)
+	} else if *minSpeedup > 0 {
+		fmt.Printf("note: par_speedup-x absolute floor skipped (report ran on %d CPUs, need >= %d)\n",
+			cur.NumCPU, benchrep.SpeedupFloorMinCPU)
 	}
 	for _, f := range res.Findings {
 		fmt.Printf("FAIL %s\n", f)

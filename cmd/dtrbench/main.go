@@ -1,14 +1,15 @@
 // Command dtrbench runs the canonical dualtopo benchmark set and emits a
-// machine-readable JSON report (default BENCH_PR8.json) so the performance
+// machine-readable JSON report (default BENCH_PR9.json) so the performance
 // trajectory of the routing core is tracked across PRs: per-benchmark
 // ns/op, bytes/op, allocs/op, and any extra metrics (full/delta speedup,
-// parallel-route speedup, steady-state and high-water heap per scale
-// instance, experiment peakRL). CI runs it on every push and uploads the
-// report as an artifact; compare reports across commits to spot regressions.
+// parallel-route speedup, churn replay events/sec, steady-state and
+// high-water heap per scale instance, experiment peakRL). CI runs it on
+// every push and uploads the report as an artifact; compare reports across
+// commits to spot regressions.
 //
 // Usage:
 //
-//	go run ./cmd/dtrbench [-o BENCH_PR8.json] [-benchtime 1s] [-quick]
+//	go run ./cmd/dtrbench [-o BENCH_PR9.json] [-benchtime 1s] [-quick]
 //	go run ./cmd/dtrbench -zoo examples/campaigns/topologies
 package main
 
@@ -16,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,7 +28,13 @@ import (
 	"dualtopo"
 	"dualtopo/internal/benchkit"
 	"dualtopo/internal/benchrep"
+	"dualtopo/internal/churn"
+	"dualtopo/internal/cost"
+	"dualtopo/internal/eval"
 	"dualtopo/internal/obs"
+	"dualtopo/internal/spf"
+	"dualtopo/internal/topo"
+	"dualtopo/internal/traffic"
 )
 
 // The report schema lives in internal/benchrep, shared with the
@@ -38,7 +46,7 @@ type (
 
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("o", "BENCH_PR8.json", "output report path ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR9.json", "output report path ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
 	quick := flag.Bool("quick", false, "skip the slow series (scale instances, search, experiment)")
 	zoo := flag.String("zoo", "", "directory of Topology-Zoo GML exports: adds one route_zoo/<name> series per file")
@@ -68,6 +76,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
 
 	type namedBench struct {
@@ -84,6 +93,8 @@ func main() {
 		{"delta_vs_full_speedup", benchDeltaVsFull},
 		{"evaluate_dtr/workers=1", benchEvaluateDTR(1)},
 		{"evaluate_dtr/workers=4", benchEvaluateDTR(4)},
+		{"churn_replay/instant", benchChurnReplay(false)},
+		{"churn_replay/convergence", benchChurnReplay(true)},
 	}
 	if !*quick {
 		benches = append(benches,
@@ -264,6 +275,77 @@ func benchEvaluateDTR(routeWorkers int) func(*testing.B) {
 			if _, err := ev.EvaluateDTR(w, w); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// benchChurnReplay replays a generated churn timeline — link flaps plus
+// weight perturbations over a 150 s horizon on an 8x8 torus — through a
+// warm Replayer, in instant-reroute or OSPF-convergence scoring mode. One
+// op is the whole timeline (~170 events, kept short enough that the
+// harness runs several iterations and per-run noise amortizes away);
+// events_per_sec is the throughput figure and the warm loop must stay at
+// 0 allocs/op (pooled delta routers, no per-event garbage) — benchgate
+// holds both.
+func benchChurnReplay(convergence bool) func(*testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewPCG(7, 99))
+		g, err := topo.Generate("torus", topo.Params{Rows: 8, Cols: 8}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tlLow := traffic.Gravity(g.NumNodes(), rng)
+		th, err := traffic.RandomHighPriority(g.NumNodes(), 0.1, 0.1, tlLow.Total(), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, err := eval.New(g, th, tlLow, eval.Options{Kind: eval.SLABased, SLA: cost.DefaultSLA()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wH := make(spf.Weights, g.NumEdges())
+		wL := make(spf.Weights, g.NumEdges())
+		for i := range wH {
+			wH[i] = 1 + rng.IntN(20)
+			wL[i] = 1 + rng.IntN(20)
+		}
+		tl, err := churn.Generate(g, churn.GenSpec{
+			Seed: 7, Horizon: 150, LinkMTBF: 240, LinkMTTR: 4, WeightRate: 0.1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts churn.Options
+		opts.Convergence.Enabled = convergence
+		rep, err := churn.NewReplayer(ev, wH, wL, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		replay := func() {
+			if _, err := rep.Start(); err != nil {
+				b.Fatal(err)
+			}
+			for i := range tl.Events {
+				if _, err := rep.Step(&tl.Events[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rep.Finish(tl.Horizon)
+		}
+		replay() // warm the pooled routers and scratch buffers
+		// Collect the setup garbage now, then warm once more: a GC inside
+		// the timed region would refill runtime pools and smear a handful
+		// of allocations over the 0-alloc claim this series gates.
+		runtime.GC()
+		replay()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			replay()
+		}
+		b.StopTimer() // keep the metric bookkeeping out of the alloc count
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(len(tl.Events))*float64(b.N)/s, "events_per_sec")
 		}
 	}
 }

@@ -20,14 +20,26 @@
 // trial's final weights are swept over the model's states through the
 // incremental sweep engine, and "robust" additionally makes the DTR search
 // failure-aware. See cmd/dtrfail for one-off sweeps outside a campaign.
+// A "churn" spec ({"churn": {"link_mtbf_s": 300, "convergence": true}})
+// additionally replays a generated churn timeline against each trial's DTR
+// weights (see cmd/dtrchurn for one-off replays).
+//
+// SIGINT/SIGTERM interrupts a campaign cleanly: no new trials start,
+// in-flight trials finish and their records flush, the summary table is
+// printed from the completed subset (marked INTERRUPTED), and the exit
+// status is non-zero.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dualtopo/internal/obs"
@@ -47,7 +59,7 @@ func main() {
 	case "validate":
 		cmdValidate(os.Args[2:])
 	case "run":
-		cmdRun(os.Args[2:])
+		os.Exit(cmdRun(os.Args[2:]))
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -136,7 +148,7 @@ func cmdValidate(paths []string) {
 	}
 }
 
-func cmdRun(args []string) {
+func cmdRun(args []string) int {
 	var cfg runConfig
 	fs := runFlags(&cfg)
 	fs.Parse(args)
@@ -150,6 +162,11 @@ func cmdRun(args []string) {
 			log.Fatal(err)
 		}
 	}()
+
+	// SIGINT/SIGTERM cancels the campaign: in-flight trials finish, their
+	// records flush, the partial aggregates print, and the exit is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var specs []scenario.Spec
 	if cfg.preset != "" {
@@ -212,6 +229,7 @@ func cmdRun(args []string) {
 		}
 
 		opts := scenario.Options{
+			Context:      ctx,
 			Workers:      cfg.workers,
 			RouteWorkers: cfg.routeWorkers,
 			Guide:        cfg.guide,
@@ -246,14 +264,23 @@ func cmdRun(args []string) {
 			}
 		}
 		res, err := scenario.Run(spec, opts)
-		if err != nil {
+		interrupted := errors.Is(err, scenario.ErrInterrupted)
+		if err != nil && !interrupted {
 			log.Fatal(err)
 		}
 		if !cfg.quiet && !cfg.progress {
 			fmt.Fprintln(os.Stderr)
 		}
-		fmt.Fprintf(summaryOut, "== campaign %s: %d trials in %.0f ms (trial latency p50 %.0f ms, p95 %.0f ms) ==\n%s\n",
+		status := ""
+		if interrupted {
+			status = " [INTERRUPTED: partial aggregates]"
+		}
+		fmt.Fprintf(summaryOut, "== campaign %s: %d trials in %.0f ms (trial latency p50 %.0f ms, p95 %.0f ms)%s ==\n%s\n",
 			res.Spec.Name, len(res.Trials), res.ElapsedMs,
-			res.TrialLatency.P50, res.TrialLatency.P95, res.SummaryTable())
+			res.TrialLatency.P50, res.TrialLatency.P95, status, res.SummaryTable())
+		if interrupted {
+			return 1
+		}
 	}
+	return 0
 }

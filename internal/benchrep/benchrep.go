@@ -22,6 +22,12 @@ type Report struct {
 	GOOS       string  `json:"goos"`
 	GOARCH     string  `json:"goarch"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	// NumCPU records the machine's physical parallelism (runtime.NumCPU).
+	// GOMAXPROCS can be pinned above it (a 1-core box running at
+	// GOMAXPROCS=4 reports a par_speedup-x of ~1.0 honestly), so the
+	// absolute speedup floor keys off NumCPU, not GOMAXPROCS. Zero in
+	// reports predating the field.
+	NumCPU     int     `json:"num_cpu,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 	// Manifest attributes the report to a run (command, args, VCS stamp,
 	// wall time). The regression gate compares Benchmarks (and GOMAXPROCS)
@@ -121,6 +127,31 @@ func Compare(baseline, current Report, maxRegress float64) GateResult {
 		}
 	}
 	return res
+}
+
+// SpeedupFloorMinCPU is the parallelism below which the absolute speedup
+// floor is meaningless: with fewer real cores than route workers, a ratio
+// near 1.0 is the honest outcome, not a regression.
+const SpeedupFloorMinCPU = 4
+
+// SpeedupFloor checks every par_speedup-x metric of the current report
+// against an absolute floor — the gate that proves parallel routing
+// actually pays off on real hardware, independent of whatever the
+// committed baseline machine could do. It returns nil findings (and
+// applied=false) when the report ran on fewer than SpeedupFloorMinCPU
+// CPUs, so single-core baselines never trip it.
+func SpeedupFloor(cur Report, floor float64) (findings []Finding, applied bool) {
+	if floor <= 0 || cur.NumCPU < SpeedupFloorMinCPU {
+		return nil, false
+	}
+	for _, e := range cur.Benchmarks {
+		if v, ok := e.Metrics["par_speedup-x"]; ok && v < floor {
+			findings = append(findings, Finding{e.Name,
+				fmt.Sprintf("par_speedup-x %.2f below absolute floor %.2f on a %d-CPU machine",
+					v, floor, cur.NumCPU)})
+		}
+	}
+	return findings, true
 }
 
 // compareRatios gates the higher-is-better "-x" ratio metrics of one series.

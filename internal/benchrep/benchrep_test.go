@@ -156,9 +156,9 @@ func TestLoadFile(t *testing.T) {
 }
 
 // TestCommittedBaselineLoads guards the committed baseline file itself: the
-// gate job is vacuous if BENCH_PR8.json ever becomes unreadable.
+// gate job is vacuous if BENCH_PR9.json ever becomes unreadable.
 func TestCommittedBaselineLoads(t *testing.T) {
-	r, err := LoadFile(filepath.Join("..", "..", "BENCH_PR8.json"))
+	r, err := LoadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,5 +167,39 @@ func TestCommittedBaselineLoads(t *testing.T) {
 	}
 	if res := Compare(r, r, 0.25); !res.Pass() {
 		t.Fatalf("baseline does not gate against itself: %v", res.Findings)
+	}
+}
+
+func TestSpeedupFloor(t *testing.T) {
+	entries := []Entry{
+		{Name: "route_scale/a/speedup", Metrics: map[string]float64{"par_speedup-x": 1.02}},
+		{Name: "route_scale/b/speedup", Metrics: map[string]float64{"par_speedup-x": 2.4}},
+		{Name: "spf", NsPerOp: 1000}, // no ratio metric: never flagged
+	}
+
+	// Below SpeedupFloorMinCPU the floor is meaningless and must not apply.
+	small := Report{NumCPU: SpeedupFloorMinCPU - 1, Benchmarks: entries}
+	if findings, applied := SpeedupFloor(small, 1.5); applied || findings != nil {
+		t.Fatalf("floor applied on %d CPUs: %v", small.NumCPU, findings)
+	}
+	// Reports predating the field (NumCPU zero) are likewise skipped.
+	if _, applied := SpeedupFloor(Report{Benchmarks: entries}, 1.5); applied {
+		t.Fatal("floor applied to a report without num_cpu")
+	}
+	// A disabled floor never applies regardless of CPU count.
+	if _, applied := SpeedupFloor(Report{NumCPU: 8, Benchmarks: entries}, 0); applied {
+		t.Fatal("floor of 0 applied")
+	}
+
+	big := Report{NumCPU: SpeedupFloorMinCPU, Benchmarks: entries}
+	findings, applied := SpeedupFloor(big, 1.5)
+	if !applied {
+		t.Fatal("floor not applied on a 4-CPU report")
+	}
+	if len(findings) != 1 || findings[0].Benchmark != "route_scale/a/speedup" {
+		t.Fatalf("findings = %v", findings)
+	}
+	if !strings.Contains(findings[0].Detail, "1.02") || !strings.Contains(findings[0].Detail, "1.50") {
+		t.Fatalf("detail lacks observed/floor values: %s", findings[0].Detail)
 	}
 }

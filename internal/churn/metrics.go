@@ -1,0 +1,42 @@
+package churn
+
+import "dualtopo/internal/obs"
+
+// Package-level telemetry for churn replay, registered in the default obs
+// registry. Handles are resolved once here so the per-event hot path is a
+// couple of atomic ops and keeps its AllocsPerRun == 0 pin.
+var met = struct {
+	evLinkDown   *obs.Counter
+	evLinkUp     *obs.Counter
+	evWeightSet  *obs.Counter
+	evNodeDown   *obs.Counter
+	evNodeUp     *obs.Counter
+	disconnects  *obs.Counter
+	rerouteNs    *obs.Histogram // wall-ns from event apply to rescored objectives
+	transientMbs *obs.Counter   // convergence-mode transient loss, integer Mbps·ms
+}{
+	evLinkDown:   obs.Default().CounterVec("churn_events_total", "Replayed churn events by kind.", "kind").With(string(LinkDown)),
+	evLinkUp:     obs.Default().CounterVec("churn_events_total", "Replayed churn events by kind.", "kind").With(string(LinkUp)),
+	evWeightSet:  obs.Default().CounterVec("churn_events_total", "Replayed churn events by kind.", "kind").With(string(WeightSet)),
+	evNodeDown:   obs.Default().CounterVec("churn_events_total", "Replayed churn events by kind.", "kind").With(string(NodeDown)),
+	evNodeUp:     obs.Default().CounterVec("churn_events_total", "Replayed churn events by kind.", "kind").With(string(NodeUp)),
+	disconnects:  obs.Default().Counter("churn_disconnected_events_total", "Replayed events that left some demand unreachable."),
+	rerouteNs:    obs.Default().Histogram("churn_event_reroute_ns", "Per-event reroute latency: delta apply plus objective rescore, wall nanoseconds.", obs.ExpBuckets(1000, 4, 16)),
+	transientMbs: obs.Default().Counter("churn_transient_mbps_ms_total", "Convergence-mode traffic forwarded into stale blackholes/loops, integrated Mbps·ms."),
+}
+
+// kindCounter maps an event kind to its pre-resolved counter.
+func kindCounter(k Kind) *obs.Counter {
+	switch k {
+	case LinkDown:
+		return met.evLinkDown
+	case LinkUp:
+		return met.evLinkUp
+	case WeightSet:
+		return met.evWeightSet
+	case NodeDown:
+		return met.evNodeDown
+	default:
+		return met.evNodeUp
+	}
+}

@@ -1,0 +1,432 @@
+package churn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dualtopo/internal/cost"
+	"dualtopo/internal/eval"
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+	"dualtopo/internal/traffic"
+)
+
+// Options configures a Replayer.
+type Options struct {
+	// Counterfactual scores every event against the intact baseline
+	// instead of accumulating state: checkpoint → apply → score → revert,
+	// answering "what would this event do to today's network" per event.
+	// Incompatible with convergence mode (which needs the cumulative
+	// trajectory) and skips the time-integrated summary masses.
+	Counterfactual bool
+	// Verify re-evaluates every event's routing from scratch and fails
+	// the replay on any bitwise disagreement with the delta path,
+	// including disagreement about disconnection. Debug mode.
+	Verify bool
+	// RouteWorkers bounds the SPF worker pool of the Verify evaluator;
+	// 0 picks an automatic value. Parallel routing is bitwise-identical
+	// to sequential, so replay output never depends on this setting.
+	RouteWorkers int
+	// Convergence enables OSPF-convergence emulation: each event is also
+	// scored through per-router stale-tree windows (see ConvergenceOptions).
+	Convergence ConvergenceOptions
+}
+
+// Record is the time-series entry emitted for one replayed event. The
+// struct is reused by the Replayer's next Step; callers that retain
+// records must copy them.
+type Record struct {
+	// Index is the event's position in the timeline (-1 for the initial
+	// steady state emitted by Start).
+	Index  int     `json:"i"`
+	T      float64 `json:"t"`
+	Kind   Kind    `json:"kind"`
+	Target string  `json:"target,omitempty"`
+
+	// Disconnected marks events after which some demand had no path; the
+	// objective fields below are omitted (their value is meaningless)
+	// until a later event restores connectivity.
+	Disconnected bool `json:"disconnected,omitempty"`
+	// DisconnectedPairs counts high-priority pairs with no path;
+	// DisconnectedSample labels up to 8 of them as "src->dst".
+	DisconnectedPairs  int      `json:"disconnected_pairs,omitempty"`
+	DisconnectedSample []string `json:"disconnected_sample,omitempty"`
+
+	PhiH    float64 `json:"phi_h"`
+	PhiL    float64 `json:"phi_l"`
+	MaxUtil float64 `json:"max_util"`
+	// Lambda/Violations mirror the SLA objective (Eq. 4) for SLA-based
+	// instances; ViolationMass is the high-priority demand (Mbps) outside
+	// its delay bound — disconnected demand counts in full.
+	Lambda        float64 `json:"lambda,omitempty"`
+	Violations    int     `json:"violations,omitempty"`
+	ViolationMass float64 `json:"violation_mass_mbps"`
+
+	// MovedArcs is the size of the delta apply's moved set (both
+	// topologies); FullRoute marks the recovery full re-route after a
+	// disconnection window. RerouteNs is wall time for apply + rescore —
+	// the only nondeterministic field, excluded from determinism checks.
+	MovedArcs int   `json:"moved_arcs"`
+	FullRoute bool  `json:"full_route,omitempty"`
+	RerouteNs int64 `json:"reroute_ns"`
+
+	// Transient carries convergence-mode scoring; nil otherwise.
+	Transient *Transient `json:"transient,omitempty"`
+}
+
+// Transient scores one event's OSPF convergence window against the
+// instantaneous-convergence ideal.
+type Transient struct {
+	// WindowMs is the time until the last reachable router converged
+	// (flood hops × FloodHopMs + SpfMs).
+	WindowMs float64 `json:"window_ms"`
+	// LostMbpsSec integrates high-priority demand forwarded into
+	// micro-loops or blackholes while routers held stale trees (Mbps·s).
+	LostMbpsSec float64 `json:"lost_mbps_sec"`
+	// MicroLoops and Blackholes count (pair × interval) walk outcomes;
+	// AffectedPairs counts distinct pairs that lost any traffic.
+	MicroLoops    int `json:"micro_loops,omitempty"`
+	Blackholes    int `json:"blackholes,omitempty"`
+	AffectedPairs int `json:"affected_pairs,omitempty"`
+}
+
+// Summary aggregates a finished (or interrupted) replay.
+type Summary struct {
+	Events        int `json:"events"`
+	Disconnects   int `json:"disconnected_events"`
+	FullRoutes    int `json:"full_routes"`
+	WeightChanges int `json:"weight_changes"`
+	// ViolationMbpsSec integrates the steady-state SLA-violation mass
+	// over the timeline (each event's mass held until the next event,
+	// the final state until the horizon). Disconnected windows charge the
+	// unreachable high-priority demand.
+	ViolationMbpsSec float64 `json:"violation_mbps_sec"`
+	// TransientMbpsSec sums convergence-mode stale-tree losses; zero in
+	// instantaneous mode, so Total strictly exceeds the instantaneous
+	// total whenever stale trees actually lost traffic.
+	TransientMbpsSec float64 `json:"transient_mbps_sec"`
+	TotalMbpsSec     float64 `json:"total_mbps_sec"`
+	MicroLoops       int     `json:"micro_loops,omitempty"`
+	Blackholes       int     `json:"blackholes,omitempty"`
+	MaxWindowMs      float64 `json:"max_window_ms,omitempty"`
+	PeakUtil         float64 `json:"peak_util"`
+	// Partial marks a replay cut short (context cancellation): the
+	// masses integrate only the events actually replayed.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// Replayer drives a Timeline through pooled DeltaRouters: per event it
+// applies the topology change incrementally, re-reduces the paper's
+// objectives over the moved arcs (bitwise-equal to a from-scratch
+// evaluation), refreshes only the pair delays whose trees moved, and
+// emits a Record. The warm path — events that neither disconnect nor
+// recover — is allocation-free.
+//
+// A Replayer is not safe for concurrent use.
+type Replayer struct {
+	g      *graph.Graph
+	th     *traffic.Matrix
+	kind   eval.Kind
+	sla    cost.SLA
+	exact  bool
+	opts   Options
+	fullEv *eval.Evaluator // pooled clone backing -verify
+
+	drH, drL *spf.DeltaRouter
+	// baseH/baseL pin the intact configuration; cfgH/cfgL track the
+	// configured weights as weight-set events land; bufH/bufL are the
+	// effective weights actually routed (cfg masked to Disabled wherever
+	// the link or either endpoint is down).
+	baseH, baseL spf.Weights
+	cfgH, cfgL   spf.Weights
+	bufH, bufL   spf.Weights
+	linkDown     []bool
+	nodeDown     []bool
+	downLinks    int
+	downNodes    int
+
+	capacity  []float64
+	propDelay []float64
+	linkPhiH  []float64
+	residual  []float64
+	linkPhiL  []float64
+	linkDelay []float64
+
+	// High-priority demand grouped by destination, in the evaluator's
+	// canonical (dest, src) order so mass/penalty reductions are bitwise
+	// equal to eval's.
+	hpDests   []graph.NodeID
+	hpSrcs    [][]graph.NodeID
+	hpDem     [][]float64
+	pairDelay [][]float64
+	dirtyDest []bool // scratch: dests whose delays were refreshed this Step
+
+	// Event-apply scratch (all reused).
+	evArcs  []graph.EdgeID // arcs toggled by the current event
+	savedH  []int          // counterfactual pre-images of cfgH on the event's arcs
+	savedL  []int
+	diffBuf []graph.EdgeID
+	// Counterfactual pre-images of the desired-state flags.
+	cfLinkDown  bool
+	cfNodeDown  bool
+	cfDownLinks int
+	cfDownNodes int
+
+	// Disconnection scan scratch.
+	reach []bool
+	queue []graph.NodeID
+
+	conv *convState
+
+	rec      Record
+	lastT    float64
+	lastMass float64
+	started  bool
+	sum      Summary
+}
+
+// maxDisconnectedSample bounds the pair labels attached to a disconnected
+// record.
+const maxDisconnectedSample = 8
+
+// NewReplayer builds a replayer over e's problem instance, pinned to the
+// DTR weight setting (wH, wL). The evaluator is only used for instance
+// data (and cloned for -verify); its own plans are never disturbed.
+func NewReplayer(e *eval.Evaluator, wH, wL spf.Weights, opts Options) (*Replayer, error) {
+	if opts.Counterfactual && opts.Convergence.Enabled {
+		return nil, errors.New("churn: counterfactual replay cannot score convergence transients (needs the cumulative trajectory)")
+	}
+	g := e.Graph()
+	th, tl := e.Matrices()
+	if err := wH.Validate(g); err != nil {
+		return nil, fmt.Errorf("churn: high-topology weights: %w", err)
+	}
+	if err := wL.Validate(g); err != nil {
+		return nil, fmt.Errorf("churn: low-topology weights: %w", err)
+	}
+	m := g.NumEdges()
+	n := g.NumNodes()
+	csr := g.CSR()
+	r := &Replayer{
+		g:         g,
+		th:        th,
+		kind:      e.Options().Kind,
+		sla:       e.Options().SLA,
+		exact:     e.Options().ExactDelay,
+		opts:      opts,
+		drH:       spf.NewDeltaRouter(g, th),
+		drL:       spf.NewDeltaRouter(g, tl),
+		baseH:     append(spf.Weights(nil), wH...),
+		baseL:     append(spf.Weights(nil), wL...),
+		cfgH:      make(spf.Weights, m),
+		cfgL:      make(spf.Weights, m),
+		bufH:      make(spf.Weights, m),
+		bufL:      make(spf.Weights, m),
+		linkDown:  make([]bool, m),
+		nodeDown:  make([]bool, n),
+		capacity:  csr.Capacity,
+		propDelay: make([]float64, m),
+		linkPhiH:  make([]float64, m),
+		residual:  make([]float64, m),
+		linkPhiL:  make([]float64, m),
+		linkDelay: make([]float64, m),
+		evArcs:    make([]graph.EdgeID, 0, 16),
+		savedH:    make([]int, 0, 16),
+		savedL:    make([]int, 0, 16),
+		reach:     make([]bool, n),
+		queue:     make([]graph.NodeID, 0, n),
+	}
+	if r.kind != eval.SLABased {
+		// Load-based instances still track SLA-violation mass for the
+		// time series; score it with the paper's default SLA.
+		r.sla = cost.DefaultSLA()
+	}
+	for i := 0; i < m; i++ {
+		r.propDelay[i] = g.Edge(graph.EdgeID(i)).Delay
+	}
+	// Group the evaluator's canonical pair order by destination.
+	pairs := e.HighPriorityPairs()
+	for i := 0; i < len(pairs); {
+		dest := pairs[i].Dst
+		j := i
+		for j < len(pairs) && pairs[j].Dst == dest {
+			j++
+		}
+		srcs := make([]graph.NodeID, 0, j-i)
+		dem := make([]float64, 0, j-i)
+		for _, p := range pairs[i:j] {
+			srcs = append(srcs, p.Src)
+			dem = append(dem, th.At(p.Src, dest))
+		}
+		r.hpDests = append(r.hpDests, dest)
+		r.hpSrcs = append(r.hpSrcs, srcs)
+		r.hpDem = append(r.hpDem, dem)
+		r.pairDelay = append(r.pairDelay, make([]float64, len(srcs)))
+		i = j
+	}
+	r.dirtyDest = make([]bool, len(r.hpDests))
+	if opts.Verify {
+		r.fullEv = e.Clone()
+		if opts.RouteWorkers != 1 {
+			r.fullEv.SetRouteWorkers(opts.RouteWorkers)
+		}
+	}
+	if opts.Convergence.Enabled {
+		r.conv = newConvState(r)
+	}
+	return r, nil
+}
+
+// Start (re)initializes the replay at t=0 with the intact configuration
+// routed and scored, returning the initial steady-state record (Index -1).
+// The record is reused by the next Step.
+func (r *Replayer) Start() (*Record, error) {
+	copy(r.cfgH, r.baseH)
+	copy(r.cfgL, r.baseL)
+	copy(r.bufH, r.baseH)
+	copy(r.bufL, r.baseL)
+	for i := range r.linkDown {
+		r.linkDown[i] = false
+	}
+	for i := range r.nodeDown {
+		r.nodeDown[i] = false
+	}
+	r.downLinks, r.downNodes = 0, 0
+	if err := r.moveRouter(r.drH, r.bufH); err != nil {
+		return nil, fmt.Errorf("churn: intact high topology does not route: %w", err)
+	}
+	if err := r.moveRouter(r.drL, r.bufL); err != nil {
+		return nil, fmt.Errorf("churn: intact low topology does not route: %w", err)
+	}
+	r.rescoreAll()
+	r.refreshAllDelays()
+	if r.conv != nil {
+		r.conv.snapshotAll(r)
+	}
+	r.sum = Summary{}
+	r.lastT = 0
+	r.rec = Record{Index: -1, Kind: "start"}
+	r.scoreSteady(&r.rec)
+	r.lastMass = r.rec.ViolationMass
+	if r.rec.MaxUtil > r.sum.PeakUtil {
+		r.sum.PeakUtil = r.rec.MaxUtil
+	}
+	r.started = true
+	return &r.rec, nil
+}
+
+// moveRouter transitions one router to w with an exact diff, mirroring the
+// resilience sweep idiom.
+func (r *Replayer) moveRouter(dr *spf.DeltaRouter, w spf.Weights) error {
+	r.diffBuf = spf.DiffArcs(dr.Weights(), w, r.diffBuf[:0])
+	_, err := dr.Apply(w, r.diffBuf)
+	return err
+}
+
+// rescore recomputes the per-arc cost vectors of the listed arcs from the
+// current loads — the same per-arc expressions eval's full path uses.
+func (r *Replayer) rescore(arcs []graph.EdgeID) {
+	h, l := r.drH.Loads[0], r.drL.Loads[0]
+	for _, a := range arcs {
+		r.linkPhiH[a] = cost.Phi(h[a], r.capacity[a])
+		r.residual[a] = cost.Residual(r.capacity[a], h[a])
+		r.linkPhiL[a] = cost.Phi(l[a], r.residual[a])
+		r.linkDelay[a] = r.linkDelayAt(int(a), h[a], r.linkPhiH[a])
+	}
+}
+
+// rescoreAll recomputes every arc — the recovery path after a full route.
+func (r *Replayer) rescoreAll() {
+	h, l := r.drH.Loads[0], r.drL.Loads[0]
+	for a := range r.linkPhiH {
+		r.linkPhiH[a] = cost.Phi(h[a], r.capacity[a])
+		r.residual[a] = cost.Residual(r.capacity[a], h[a])
+		r.linkPhiL[a] = cost.Phi(l[a], r.residual[a])
+		r.linkDelay[a] = r.linkDelayAt(a, h[a], r.linkPhiH[a])
+	}
+}
+
+// linkDelayAt mirrors eval.Evaluator.linkDelayAt (Eq. 3 with the same
+// exact-delay fallback), so SLA metrics stay bitwise-comparable.
+func (r *Replayer) linkDelayAt(i int, hLoad, linkPhiH float64) float64 {
+	if r.exact {
+		d := r.sla.LinkDelayExact(hLoad, r.capacity[i], r.propDelay[i])
+		if !math.IsInf(d, 1) {
+			return d
+		}
+	}
+	return r.sla.LinkDelayApprox(linkPhiH, r.capacity[i], r.propDelay[i])
+}
+
+// refreshDelays recomputes pair delays for destinations whose high-
+// topology trees moved (dirty tree, or a moved arc on the stored DAG) —
+// the eval delta path's refresh rule. dirtyDest marks what was refreshed.
+func (r *Replayer) refreshDelays(moved []graph.EdgeID) {
+	for di, dest := range r.hpDests {
+		dirty := r.drH.TreeDirty(dest)
+		if !dirty {
+			for _, a := range moved {
+				if r.drH.TreeUsesArc(dest, a) {
+					dirty = true
+					break
+				}
+			}
+		}
+		r.dirtyDest[di] = dirty
+		if !dirty {
+			continue
+		}
+		xi := r.drH.DelaysTo(dest, r.linkDelay)
+		for si, src := range r.hpSrcs[di] {
+			r.pairDelay[di][si] = xi[src]
+		}
+	}
+}
+
+// refreshAllDelays recomputes every destination's pair delays.
+func (r *Replayer) refreshAllDelays() {
+	for di, dest := range r.hpDests {
+		r.dirtyDest[di] = true
+		xi := r.drH.DelaysTo(dest, r.linkDelay)
+		for si, src := range r.hpSrcs[di] {
+			r.pairDelay[di][si] = xi[src]
+		}
+	}
+}
+
+// scoreSteady fills rec's objective fields from the maintained vectors,
+// re-reducing in ascending-arc and canonical-pair order so every number is
+// bitwise-equal to a from-scratch evaluation.
+func (r *Replayer) scoreSteady(rec *Record) {
+	phiH, phiL := 0.0, 0.0
+	for a := range r.linkPhiH {
+		phiH += r.linkPhiH[a]
+		phiL += r.linkPhiL[a]
+	}
+	rec.PhiH, rec.PhiL = phiH, phiL
+	h, l := r.drH.Loads[0], r.drL.Loads[0]
+	maxU := 0.0
+	for a := range h {
+		if u := (h[a] + l[a]) / r.capacity[a]; u > maxU {
+			maxU = u
+		}
+	}
+	rec.MaxUtil = maxU
+	lambda, mass := 0.0, 0.0
+	violations := 0
+	for di := range r.hpDests {
+		dem := r.hpDem[di]
+		for si, d := range r.pairDelay[di] {
+			if pen := r.sla.PairPenalty(d); pen > 0 {
+				lambda += pen
+				violations++
+				mass += dem[si]
+			}
+		}
+	}
+	rec.Lambda, rec.Violations, rec.ViolationMass = lambda, violations, mass
+	if r.kind != eval.SLABased {
+		rec.Lambda, rec.Violations = 0, 0
+	}
+}

@@ -1,0 +1,366 @@
+package churn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dualtopo/internal/eval"
+	"dualtopo/internal/graph"
+	"dualtopo/internal/spf"
+)
+
+// Step replays one event and returns its record (reused by the next call).
+// Events must arrive in non-decreasing time order. Unknown targets and
+// malformed payloads fail with the event index and time in the error; a
+// disconnecting event is not an error — it yields a Disconnected record
+// and the replay recovers when connectivity returns.
+func (r *Replayer) Step(ev *Event) (*Record, error) {
+	if !r.started {
+		return nil, errors.New("churn: Step before Start")
+	}
+	idx := r.sum.Events
+	if ev.T < r.lastT {
+		return nil, fmt.Errorf("churn: event %d (%s %s) at t=%gs precedes t=%gs: timeline unsorted",
+			idx, ev.Kind, ev.Target, ev.T, r.lastT)
+	}
+	// Hold the pre-event steady state over the gap since the last event.
+	if !r.opts.Counterfactual {
+		r.sum.ViolationMbpsSec += r.lastMass * (ev.T - r.lastT)
+		r.lastT = ev.T
+	}
+	rec := &r.rec
+	sample := rec.DisconnectedSample[:0]
+	*rec = Record{Index: idx, T: ev.T, Kind: ev.Kind, Target: ev.Target, DisconnectedSample: sample}
+
+	node, uv, vu, err := resolveTarget(r.g, ev)
+	if err != nil {
+		return nil, fmt.Errorf("churn: event %d (t=%gs): %w", idx, ev.T, err)
+	}
+	if ev.Kind == WeightSet {
+		if ev.WH < 0 || ev.WH >= spf.Disabled || ev.WL < 0 || ev.WL >= spf.Disabled || (ev.WH == 0 && ev.WL == 0) {
+			return nil, fmt.Errorf("churn: event %d (t=%gs): weight-set %s: payload wh=%d wl=%d out of range",
+				idx, ev.T, ev.Target, ev.WH, ev.WL)
+		}
+	}
+	if r.opts.Counterfactual {
+		if err := r.drH.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("churn: event %d: %w", idx, err)
+		}
+		if err := r.drL.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("churn: event %d: %w", idx, err)
+		}
+		r.saveDesired(ev, node, uv, vu)
+	}
+	r.applyDesired(ev, node, uv, vu)
+
+	// Route the new effective weights through both delta routers and
+	// rescore whatever moved; the clock covers apply + rescore + delay
+	// refresh — the data-plane cost of reacting to the event.
+	t0 := time.Now()
+	hadFull := !r.drH.Valid() || !r.drL.Valid()
+	r.diffBuf = spf.DiffArcs(r.drH.Weights(), r.bufH, r.diffBuf[:0])
+	movedH, errH := r.drH.Apply(r.bufH, r.diffBuf)
+	r.diffBuf = spf.DiffArcs(r.drL.Weights(), r.bufL, r.diffBuf[:0])
+	movedL, errL := r.drL.Apply(r.bufL, r.diffBuf)
+	if errH != nil && !errors.Is(errH, spf.ErrNoPath) {
+		return nil, fmt.Errorf("churn: event %d (%s %s, t=%gs): high topology: %w", idx, ev.Kind, ev.Target, ev.T, errH)
+	}
+	if errL != nil && !errors.Is(errL, spf.ErrNoPath) {
+		return nil, fmt.Errorf("churn: event %d (%s %s, t=%gs): low topology: %w", idx, ev.Kind, ev.Target, ev.T, errL)
+	}
+	ok := errH == nil && errL == nil
+	rec.MovedArcs = len(movedH) + len(movedL)
+	rec.FullRoute = hadFull
+	if ok {
+		r.rescore(movedH)
+		r.rescore(movedL)
+		r.refreshDelays(movedH)
+		r.scoreSteady(rec)
+	} else {
+		// Keep whichever router survived maintained through the outage
+		// window (its arcs sharing a window with the broken router get
+		// garbage values from the latter's loads, but the broken router's
+		// recovery is a full route that rescores every arc). Steady
+		// metrics are meaningless here; charge the unreachable demand.
+		rec.Disconnected = true
+		if errH == nil {
+			r.rescore(movedH)
+			r.refreshDelays(movedH)
+		}
+		if errL == nil {
+			r.rescore(movedL)
+		}
+		rec.ViolationMass = r.disconnectedMass(rec)
+	}
+	rec.RerouteNs = time.Since(t0).Nanoseconds()
+	met.rerouteNs.Observe(float64(rec.RerouteNs))
+	kindCounter(ev.Kind).Inc()
+
+	if r.conv != nil {
+		r.scoreTransient(rec, ev, node, uv, vu, ok, hadFull)
+	}
+	if r.opts.Verify {
+		if err := r.verifyEvent(idx, ev, rec, ok); err != nil {
+			return nil, err
+		}
+	}
+
+	if r.opts.Counterfactual {
+		r.drH.Revert()
+		r.drL.Revert()
+		r.restoreDesired(ev, node, uv, vu)
+		// The rolled-back loads are the base loads again; re-scoring the
+		// same moved arcs restores every vector bitwise. A router that
+		// errored mid-apply reverts with an empty moved set and was never
+		// rescored, so there is nothing to restore on its side.
+		if errH == nil {
+			r.rescore(movedH)
+		}
+		if errL == nil {
+			r.rescore(movedL)
+		}
+		if errH == nil {
+			r.restoreDelays()
+		}
+	} else {
+		r.lastMass = rec.ViolationMass
+	}
+
+	r.sum.Events++
+	if rec.Disconnected {
+		r.sum.Disconnects++
+		met.disconnects.Inc()
+	}
+	if rec.FullRoute {
+		r.sum.FullRoutes++
+	}
+	if ev.Kind == WeightSet {
+		r.sum.WeightChanges++
+	}
+	if !rec.Disconnected && rec.MaxUtil > r.sum.PeakUtil {
+		r.sum.PeakUtil = rec.MaxUtil
+	}
+	return rec, nil
+}
+
+// applyDesired mutates the desired-state model (down flags, configured
+// weights) and recomputes the effective weights of the event's arcs. The
+// effective weight of an arc is Disabled iff its link is down or either
+// endpoint node is down — so overlapping link and node outages compose
+// and unwind in any order.
+func (r *Replayer) applyDesired(ev *Event, node graph.NodeID, uv, vu graph.EdgeID) {
+	r.evArcs = r.evArcs[:0]
+	switch ev.Kind {
+	case LinkDown, LinkUp:
+		down := ev.Kind == LinkDown
+		if r.linkDown[uv] != down {
+			if down {
+				r.downLinks++
+			} else {
+				r.downLinks--
+			}
+		}
+		r.linkDown[uv], r.linkDown[vu] = down, down
+		r.evArcs = append(r.evArcs, uv, vu)
+	case NodeDown, NodeUp:
+		down := ev.Kind == NodeDown
+		if r.nodeDown[node] != down {
+			if down {
+				r.downNodes++
+			} else {
+				r.downNodes--
+			}
+		}
+		r.nodeDown[node] = down
+		r.evArcs = append(r.evArcs, r.g.Out(node)...)
+		r.evArcs = append(r.evArcs, r.g.In(node)...)
+	case WeightSet:
+		if ev.WH > 0 {
+			r.cfgH[uv], r.cfgH[vu] = ev.WH, ev.WH
+		}
+		if ev.WL > 0 {
+			r.cfgL[uv], r.cfgL[vu] = ev.WL, ev.WL
+		}
+		r.evArcs = append(r.evArcs, uv, vu)
+	}
+	for _, a := range r.evArcs {
+		e := r.g.Edge(a)
+		if r.linkDown[a] || r.nodeDown[e.From] || r.nodeDown[e.To] {
+			r.bufH[a], r.bufL[a] = spf.Disabled, spf.Disabled
+		} else {
+			r.bufH[a], r.bufL[a] = r.cfgH[a], r.cfgL[a]
+		}
+	}
+}
+
+// saveDesired snapshots the desired state the event is about to touch so
+// restoreDesired can unwind a counterfactual exactly.
+func (r *Replayer) saveDesired(ev *Event, node graph.NodeID, uv, vu graph.EdgeID) {
+	r.savedH = r.savedH[:0]
+	r.savedL = r.savedL[:0]
+	switch ev.Kind {
+	case LinkDown, LinkUp:
+		r.cfLinkDown = r.linkDown[uv]
+	case NodeDown, NodeUp:
+		r.cfNodeDown = r.nodeDown[node]
+	case WeightSet:
+		r.savedH = append(r.savedH, r.cfgH[uv], r.cfgH[vu])
+		r.savedL = append(r.savedL, r.cfgL[uv], r.cfgL[vu])
+	}
+	r.cfDownLinks, r.cfDownNodes = r.downLinks, r.downNodes
+}
+
+// restoreDesired unwinds applyDesired after a counterfactual event.
+func (r *Replayer) restoreDesired(ev *Event, node graph.NodeID, uv, vu graph.EdgeID) {
+	switch ev.Kind {
+	case LinkDown, LinkUp:
+		r.linkDown[uv], r.linkDown[vu] = r.cfLinkDown, r.cfLinkDown
+	case NodeDown, NodeUp:
+		r.nodeDown[node] = r.cfNodeDown
+	case WeightSet:
+		r.cfgH[uv], r.cfgH[vu] = r.savedH[0], r.savedH[1]
+		r.cfgL[uv], r.cfgL[vu] = r.savedL[0], r.savedL[1]
+	}
+	r.downLinks, r.downNodes = r.cfDownLinks, r.cfDownNodes
+	for _, a := range r.evArcs {
+		e := r.g.Edge(a)
+		if r.linkDown[a] || r.nodeDown[e.From] || r.nodeDown[e.To] {
+			r.bufH[a], r.bufL[a] = spf.Disabled, spf.Disabled
+		} else {
+			r.bufH[a], r.bufL[a] = r.cfgH[a], r.cfgL[a]
+		}
+	}
+}
+
+// restoreDelays recomputes the pair delays of the destinations Step
+// refreshed, after a counterfactual revert put loads and delays back.
+func (r *Replayer) restoreDelays() {
+	for di, dest := range r.hpDests {
+		if !r.dirtyDest[di] {
+			continue
+		}
+		xi := r.drH.DelaysTo(dest, r.linkDelay)
+		for si, src := range r.hpSrcs[di] {
+			r.pairDelay[di][si] = xi[src]
+		}
+	}
+}
+
+// disconnectedMass scans connectivity of every high-priority pair over the
+// arcs still enabled in the high topology (reverse BFS per destination),
+// filling the record's disconnection fields and returning the unreachable
+// high-priority demand — the violation mass charged while the network is
+// partitioned. Pure low-priority disconnections (the record is still
+// marked Disconnected) can legitimately report zero pairs.
+func (r *Replayer) disconnectedMass(rec *Record) float64 {
+	mass := 0.0
+	for di, dest := range r.hpDests {
+		for i := range r.reach {
+			r.reach[i] = false
+		}
+		q := append(r.queue[:0], dest)
+		r.reach[dest] = true
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			for _, a := range r.g.In(u) {
+				if r.bufH[a] == spf.Disabled {
+					continue
+				}
+				if f := r.g.Edge(a).From; !r.reach[f] {
+					r.reach[f] = true
+					q = append(q, f)
+				}
+			}
+		}
+		r.queue = q[:0]
+		for si, src := range r.hpSrcs[di] {
+			if r.reach[src] {
+				continue
+			}
+			rec.DisconnectedPairs++
+			mass += r.hpDem[di][si]
+			if len(rec.DisconnectedSample) < maxDisconnectedSample {
+				rec.DisconnectedSample = append(rec.DisconnectedSample,
+					r.g.Name(src)+"->"+r.g.Name(dest))
+			}
+		}
+	}
+	return mass
+}
+
+// verifyEvent asserts the delta outcome of one event — objectives and the
+// disconnection verdict — against a from-scratch evaluation of the
+// current effective weights.
+func (r *Replayer) verifyEvent(idx int, ev *Event, rec *Record, ok bool) error {
+	full, err := r.fullEv.EvaluateDTR(r.bufH, r.bufL)
+	if err != nil {
+		if !ok {
+			return nil // both sides agree: disconnected
+		}
+		return fmt.Errorf("churn: verify event %d (%s %s): delta survived, full evaluation failed: %v",
+			idx, ev.Kind, ev.Target, err)
+	}
+	if !ok {
+		return fmt.Errorf("churn: verify event %d (%s %s): delta disconnected, full evaluation survived (ΦH %v)",
+			idx, ev.Kind, ev.Target, full.PhiH)
+	}
+	if full.PhiH != rec.PhiH || full.PhiL != rec.PhiL {
+		return fmt.Errorf("churn: verify event %d (%s %s): delta Φ (%v, %v) != full (%v, %v)",
+			idx, ev.Kind, ev.Target, rec.PhiH, rec.PhiL, full.PhiH, full.PhiL)
+	}
+	if mu := full.MaxUtilization(r.g); mu != rec.MaxUtil {
+		return fmt.Errorf("churn: verify event %d (%s %s): delta max-util %v != full %v",
+			idx, ev.Kind, ev.Target, rec.MaxUtil, mu)
+	}
+	if r.kind == eval.SLABased {
+		if full.Lambda != rec.Lambda || full.Violations != rec.Violations || full.ViolationMass != rec.ViolationMass {
+			return fmt.Errorf("churn: verify event %d (%s %s): delta SLA (Λ=%v, v=%d, mass=%v) != full (Λ=%v, v=%d, mass=%v)",
+				idx, ev.Kind, ev.Target, rec.Lambda, rec.Violations, rec.ViolationMass,
+				full.Lambda, full.Violations, full.ViolationMass)
+		}
+	}
+	return nil
+}
+
+// Run replays the whole timeline: Start, every event through Step (each
+// record passed to emit, which may be nil), then Finish. emit errors abort
+// the replay.
+func (r *Replayer) Run(tl *Timeline, emit func(*Record) error) (*Summary, error) {
+	rec, err := r.Start()
+	if err != nil {
+		return nil, err
+	}
+	if emit != nil {
+		if err := emit(rec); err != nil {
+			return nil, err
+		}
+	}
+	for i := range tl.Events {
+		rec, err := r.Step(&tl.Events[i])
+		if err != nil {
+			return nil, err
+		}
+		if emit != nil {
+			if err := emit(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s := r.Finish(tl.Horizon)
+	return &s, nil
+}
+
+// Finish closes the integration window at horizon (the steady state after
+// the last event is held until then) and returns a copy of the summary —
+// by value, so a warm Start/Step/Finish replay cycle stays allocation-free.
+// The replayer remains usable: further Steps extend the series, or Start
+// begins a fresh replay.
+func (r *Replayer) Finish(horizon float64) Summary {
+	if !r.opts.Counterfactual && horizon > r.lastT {
+		r.sum.ViolationMbpsSec += r.lastMass * (horizon - r.lastT)
+		r.lastT = horizon
+	}
+	r.sum.TotalMbpsSec = r.sum.ViolationMbpsSec + r.sum.TransientMbpsSec
+	return r.sum
+}

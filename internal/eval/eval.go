@@ -66,6 +66,10 @@ type Result struct {
 	Lambda float64
 	// Violations counts high-priority pairs exceeding the SLA bound.
 	Violations int
+	// ViolationMass is the total high-priority demand (Mbps) carried by
+	// those violating pairs — the traffic actually outside its SLA, the
+	// quantity churn replay integrates over time; zero for load-based runs.
+	ViolationMass float64
 
 	// Per-arc metrics, indexed by EdgeID.
 	HLoads, LLoads     []float64
@@ -373,6 +377,7 @@ func (e *Evaluator) finish(hLoads, lLoads []float64, trees treeSource) (*Result,
 				if pen := e.opts.SLA.PairPenalty(d); pen > 0 {
 					r.Lambda += pen
 					r.Violations++
+					r.ViolationMass += e.th.At(src, dest)
 				}
 			}
 		}

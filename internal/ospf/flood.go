@@ -1,0 +1,76 @@
+package ospf
+
+import (
+	"dualtopo/internal/graph"
+)
+
+// FloodSchedule computes the deterministic shape of an LSA flood without
+// running the goroutine protocol in runFlood: the minimum number of
+// adjacency hops an update originated at any of a set of routers needs to
+// reach each other router. runFlood delivers along every adjacency and a
+// router forwards the first copy it installs, so the earliest possible
+// arrival at router r is exactly the BFS distance from the origin set over
+// the surviving adjacencies — this is what churn replay uses to turn a
+// topology event into per-router convergence times (stale-tree windows).
+//
+// The schedule holds reusable buffers; Hops is allocation-free after the
+// first call and a FloodSchedule is not safe for concurrent use.
+type FloodSchedule struct {
+	g     *graph.Graph
+	hops  []int32
+	queue []graph.NodeID
+}
+
+// NewFloodSchedule prepares a schedule for g.
+func NewFloodSchedule(g *graph.Graph) *FloodSchedule {
+	n := g.NumNodes()
+	return &FloodSchedule{
+		g:     g,
+		hops:  make([]int32, n),
+		queue: make([]graph.NodeID, 0, n),
+	}
+}
+
+// Unreachable marks a router the flood never reaches (it is partitioned
+// from every originator and keeps its stale LSDB indefinitely).
+const Unreachable = int32(-1)
+
+// Hops returns the per-router flood hop counts for an update originated
+// simultaneously at origins, flooding only over adjacencies for which
+// enabled reports true (an adjacency floods when either directed arc is
+// usable, mirroring how FailLink removes both directions of a cut link).
+// Originators are at hop 0; routers the flood cannot reach are Unreachable.
+// The returned slice is owned by the schedule and overwritten by the next
+// call.
+func (f *FloodSchedule) Hops(enabled func(graph.EdgeID) bool, origins ...graph.NodeID) []int32 {
+	for i := range f.hops {
+		f.hops[i] = Unreachable
+	}
+	q := f.queue[:0]
+	for _, o := range origins {
+		if f.hops[o] != Unreachable {
+			continue // duplicate origin
+		}
+		f.hops[o] = 0
+		q = append(q, o)
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		d := f.hops[u] + 1
+		for _, id := range f.g.Out(u) {
+			if !enabled(id) {
+				rev, ok := f.g.Reverse(id)
+				if !ok || !enabled(rev) {
+					continue
+				}
+			}
+			v := f.g.Edge(id).To
+			if f.hops[v] == Unreachable {
+				f.hops[v] = d
+				q = append(q, v)
+			}
+		}
+	}
+	f.queue = q[:0]
+	return f.hops
+}

@@ -41,12 +41,16 @@ func CompareSchemes(sw *Sweeper, wSTR, wH, wL spf.Weights, states []State) (*Sam
 		return nil, err
 	}
 	fs := &Samples{BaseSTR: strSweep.Base, BaseDTR: dtrSweep.Base}
+	firstDisc := -1
 	for i, st := range states {
 		sPhi, dPhi := strPhiL[i], dtrSweep.PhiL[i]
 		if math.IsNaN(sPhi) != math.IsNaN(dPhi) {
 			return nil, fmt.Errorf("resilience: schemes disagree on disconnection of state %q", st.Label)
 		}
 		if math.IsNaN(sPhi) {
+			if firstDisc < 0 {
+				firstDisc = i
+			}
 			fs.Disconnecting++
 			continue
 		}
@@ -55,7 +59,10 @@ func CompareSchemes(sw *Sweeper, wSTR, wH, wL spf.Weights, states []State) (*Sam
 		fs.DTR = append(fs.DTR, dPhi/fs.BaseDTR)
 	}
 	if len(fs.STR) == 0 {
-		return nil, fmt.Errorf("resilience: every evaluated failure disconnected the network")
+		// Name the offending states so the caller can fix the model or the
+		// instance instead of guessing from a bare failure.
+		return nil, fmt.Errorf("resilience: all %d evaluated failure states disconnected the network (first: state %d %q)",
+			len(states), firstDisc, states[firstDisc].Label)
 	}
 	return fs, nil
 }

@@ -3,6 +3,7 @@ package resilience
 import (
 	"math"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"dualtopo/internal/eval"
@@ -263,8 +264,14 @@ func TestAllStatesDisconnectedErrors(t *testing.T) {
 	w := spf.Uniform(g.NumEdges())
 	for _, opts := range []Options{{}, {FullEval: true}, {Verify: true}} {
 		sw := NewSweeper(e, opts)
-		if _, err := CompareSchemes(sw, w, w, w, states); err == nil {
+		_, err := CompareSchemes(sw, w, w, w, states)
+		if err == nil {
 			t.Errorf("opts %+v: all-disconnected sweep did not error", opts)
+			continue
+		}
+		// The error must name the offending state, not just report failure.
+		if !strings.Contains(err.Error(), states[0].Label) || !strings.Contains(err.Error(), "state 0") {
+			t.Errorf("opts %+v: error does not identify the disconnecting state: %v", opts, err)
 		}
 	}
 }

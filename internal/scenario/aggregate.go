@@ -62,6 +62,13 @@ type PointSummary struct {
 	// of the returned solutions.
 	RobustComposite *Aggregate `json:"robust_composite,omitempty"`
 	RobustWorstPhiL *Aggregate `json:"robust_worst_phi_l,omitempty"`
+
+	// Churn aggregates, present when the campaign replayed churn: per-trial
+	// SLA-violation and transient-loss integrals (Mbps·s) and disconnected
+	// event counts.
+	ChurnViolation  *Aggregate `json:"churn_violation_mbps_sec,omitempty"`
+	ChurnTransient  *Aggregate `json:"churn_transient_mbps_sec,omitempty"`
+	ChurnDisconnect *Aggregate `json:"churn_disconnects,omitempty"`
 }
 
 // summarizePoints groups trials (already in work-list order) by point and
@@ -119,6 +126,14 @@ func summarizePoints(spec Spec, trials []TrialResult) []PointSummary {
 			ps.RobustComposite = &comp
 			ps.RobustWorstPhiL = &worst
 		}
+		if group[0].Churn != nil {
+			viol := pick(func(t TrialResult) float64 { return t.Churn.ViolationMbpsSec })
+			trans := pick(func(t TrialResult) float64 { return t.Churn.TransientMbpsSec })
+			disc := pick(func(t TrialResult) float64 { return float64(t.Churn.Disconnects) })
+			ps.ChurnViolation = &viol
+			ps.ChurnTransient = &trans
+			ps.ChurnDisconnect = &disc
+		}
 		summaries = append(summaries, ps)
 	}
 	return summaries
@@ -140,11 +155,15 @@ func (r *CampaignResult) SummaryTable() string {
 	}
 	sla := r.Spec.Objective.Kind == "sla"
 	failures := r.Spec.Failures.Enabled()
+	churned := r.Spec.Churn != nil
 	if sla {
 		header = append(header, "vio.STR", "vio.DTR")
 	}
 	if failures {
 		header = append(header, "fail.STR", "fail.DTR", "worst.STR", "worst.DTR")
+	}
+	if churned {
+		header = append(header, "churn.loss", "churn.disc")
 	}
 	rows := make([][]string, 0, len(r.Points))
 	for _, ps := range r.Points {
@@ -177,6 +196,23 @@ func (r *CampaignResult) SummaryTable() string {
 			}
 			row = append(row, cell(ps.STRFailDegr), cell(ps.DTRFailDegr),
 				cell(ps.STRFailWorst), cell(ps.DTRFailWorst))
+		}
+		if churned {
+			cell := func(a *Aggregate) string {
+				if a == nil {
+					return "n/a"
+				}
+				return fmt.Sprintf("%.4g", a.Mean)
+			}
+			loss := "n/a"
+			if ps.ChurnViolation != nil {
+				total := ps.ChurnViolation.Mean
+				if ps.ChurnTransient != nil {
+					total += ps.ChurnTransient.Mean
+				}
+				loss = fmt.Sprintf("%.4g", total)
+			}
+			row = append(row, loss, cell(ps.ChurnDisconnect))
 		}
 		rows = append(rows, row)
 	}

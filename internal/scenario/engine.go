@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -54,6 +56,9 @@ type TrialResult struct {
 	// Robust reports the failure-aware DTR search score, when the campaign
 	// enabled robust search.
 	Robust *search.RobustScore `json:"robust,omitempty"`
+	// Churn summarizes the churn replay of the trial's DTR weights, when
+	// the campaign configured one.
+	Churn *ChurnMetrics `json:"churn,omitempty"`
 }
 
 // Progress reports campaign execution state after each completed trial.
@@ -62,8 +67,17 @@ type Progress struct {
 	Elapsed     time.Duration
 }
 
+// ErrInterrupted reports that Run's context was cancelled before the
+// campaign finished. Run still returns a partial CampaignResult holding
+// every trial that completed, so callers can flush what they have.
+var ErrInterrupted = errors.New("scenario: campaign interrupted")
+
 // Options configures campaign execution.
 type Options struct {
+	// Context, when non-nil, cancels the campaign: no new trials start
+	// after it is done (in-flight trials finish), Run aggregates the
+	// completed prefix and returns it alongside ErrInterrupted.
+	Context context.Context
 	// Workers bounds concurrently executed trials; 0 means GOMAXPROCS.
 	Workers int
 	// RouteWorkers bounds the SPF worker pool used inside each trial's full
@@ -106,6 +120,9 @@ type CampaignResult struct {
 	// whole campaign. Timing, so — like ElapsedMs — it is excluded from the
 	// deterministic aggregates payload (AggregatesJSON).
 	TrialLatency Aggregate `json:"trial_latency_ms"`
+	// Interrupted marks a partial result: the campaign's context was
+	// cancelled and Trials holds only the completed subset.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // Run executes the campaign: it normalizes and validates the spec, expands
@@ -147,6 +164,11 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 	budget.DTR.RouteWorkers = routeWorkers
 	budget.STR.RouteWorkers = routeWorkers
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	start := time.Now()
 	results := make([]TrialResult, len(items))
 	errs := make([]error, len(items))
@@ -161,7 +183,14 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range idxCh {
-				results[i], errs[i] = runTrial(spec, items[i], budget, routeWorkers)
+				// After cancellation, drain the remaining work-list without
+				// running it; in-flight trials complete normally, so every
+				// index still flows through doneCh exactly once.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+				} else {
+					results[i], errs[i] = runTrial(spec, items[i], budget, routeWorkers)
+				}
 				doneCh <- i
 			}
 		}()
@@ -185,6 +214,29 @@ func Run(spec Spec, opts Options) (*CampaignResult, error) {
 		if opts.OnProgress != nil {
 			opts.OnProgress(Progress{Done: done + 1, Total: len(items), Elapsed: time.Since(start)})
 		}
+	}
+	if ctx.Err() != nil {
+		// Partial flush: aggregate only the trials that completed before the
+		// cancellation and hand them back with ErrInterrupted.
+		done := make([]TrialResult, 0, len(items))
+		for i := range items {
+			if errs[i] == nil {
+				done = append(done, results[i])
+			}
+		}
+		res := &CampaignResult{
+			Spec:        spec,
+			Trials:      done,
+			Points:      summarizePoints(spec, done),
+			ElapsedMs:   float64(time.Since(start)) / float64(time.Millisecond),
+			Interrupted: true,
+		}
+		latencies := make([]float64, len(done))
+		for i, tr := range done {
+			latencies[i] = tr.ElapsedMs
+		}
+		res.TrialLatency = aggregate(latencies)
+		return res, ErrInterrupted
 	}
 	for i, err := range errs {
 		if err != nil {
@@ -250,6 +302,13 @@ func runTrial(spec Spec, it WorkItem, b Budget, routeWorkers int) (TrialResult, 
 		}
 		tr.Failures = fs.Summary(model.String())
 		sweepSpan.Stop()
+	}
+	if spec.Churn != nil {
+		cm, err := runChurn(spec.Churn, pt, it.Spec.Seed, routeWorkers)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		tr.Churn = cm
 	}
 	elapsed := time.Since(start)
 	met.trialSec.Observe(elapsed.Seconds())

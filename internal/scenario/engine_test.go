@@ -2,7 +2,10 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -255,5 +258,98 @@ func TestAggregate(t *testing.T) {
 	}
 	if a.P95 < 4.5 || a.P95 > 5 {
 		t.Fatalf("p95 = %g", a.P95)
+	}
+}
+
+// TestRunWithChurn checks the churn replay feeds trial records and
+// aggregates, deterministically across worker counts.
+func TestRunWithChurn(t *testing.T) {
+	spec := fastSpec()
+	spec.Loads = []float64{0.5}
+	spec.Trials = 2
+	spec.Objective.Kind = "sla"
+	spec.Churn = &ChurnSpec{
+		HorizonS:     120,
+		LinkMTBFS:    60,
+		LinkMTTRS:    4,
+		WeightRateHz: 0.05,
+		Convergence:  true,
+	}
+	var blobs [][]byte
+	for _, workers := range []int{1, 2} {
+		res, err := Run(spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := res.Trials[0]
+		if tr.Churn == nil {
+			t.Fatal("no churn metrics on trial")
+		}
+		if tr.Churn.Events == 0 {
+			t.Fatal("churn replay saw no events")
+		}
+		if tr.Churn.PeakUtil <= 0 {
+			t.Fatalf("churn metrics = %+v", tr.Churn)
+		}
+		if res.Trials[0].Seed == res.Trials[1].Seed {
+			t.Fatal("trials share a seed")
+		}
+		ps := res.Points[0]
+		if ps.ChurnViolation == nil || ps.ChurnTransient == nil || ps.ChurnDisconnect == nil {
+			t.Fatal("churn aggregates missing from point summary")
+		}
+		if !strings.Contains(res.SummaryTable(), "churn.loss") {
+			t.Fatal("summary table lacks churn columns")
+		}
+		blob, err := res.AggregatesJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Errorf("churn aggregates differ across worker counts:\n%s\nvs\n%s", blobs[0], blobs[1])
+	}
+}
+
+// TestRunInterrupted checks context cancellation: the engine stops starting
+// trials, returns the completed prefix with ErrInterrupted, and the partial
+// result aggregates cleanly.
+func TestRunInterrupted(t *testing.T) {
+	spec := fastSpec()
+	spec.Trials = 4 // 2 loads x 4 = 8 work items
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	res, err := Run(spec, Options{
+		Context: ctx,
+		Workers: 1,
+		OnTrial: func(tr TrialResult) {
+			emitted++
+			if emitted == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if res == nil || !res.Interrupted {
+		t.Fatal("no partial result")
+	}
+	if len(res.Trials) < 2 || len(res.Trials) >= 8 {
+		t.Fatalf("partial trials = %d, want [2,8)", len(res.Trials))
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("partial result has no aggregates")
+	}
+	// A pre-cancelled context yields an empty partial result, not a hang.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	res, err = Run(spec, Options{Context: ctx2, Workers: 2})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+	if len(res.Trials) != 0 {
+		t.Fatalf("pre-cancelled completed %d trials", len(res.Trials))
 	}
 }

@@ -36,6 +36,9 @@ type Spec struct {
 
 	Budget   BudgetSpec  `json:"budget,omitempty"`
 	Failures FailureSpec `json:"failures,omitempty"`
+	// Churn, when non-nil, replays a generated churn timeline against every
+	// trial's final DTR weights (see ChurnSpec).
+	Churn *ChurnSpec `json:"churn,omitempty"`
 }
 
 // TopologySpec selects the topology family and its parameters.
@@ -282,6 +285,11 @@ func (s Spec) Validate() error {
 		}
 	} else if s.Failures.Robust {
 		return fmt.Errorf("scenario: robust search requires a failure model (set kind or single_link)")
+	}
+	if s.Churn != nil {
+		if err := s.Churn.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

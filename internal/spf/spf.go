@@ -79,6 +79,13 @@ const unreachable = math.MaxInt32
 // doing arithmetic on a distance: adding any weight to it overflows.
 const Unreachable = unreachable
 
+// ErrNoPath reports that a routing pass found positive demand at a node
+// with no path to its destination — the signature of a disconnecting
+// failure. Callers that replay failures (resilience sweeps, churn replay)
+// match it with errors.Is to separate survivable disconnection from
+// genuine errors like ErrDistRange.
+var ErrNoPath = errors.New("no path to destination")
+
 // ErrDistRange reports that node count × maximum weight could push a path
 // distance past the int32 tree layout. The bound is conservative (longest
 // possible path: every node traversed at the maximum arc weight) so passing
@@ -399,7 +406,7 @@ func (c *Computer) AddLoads(t *Tree, demand []float64, loads []float64) error {
 			continue
 		}
 		if !t.Reaches(graph.NodeID(u)) {
-			return fmt.Errorf("spf: node %d has demand %g but no path to %d", u, d, t.Dest)
+			return fmt.Errorf("spf: node %d has demand %g but %w %d", u, d, ErrNoPath, t.Dest)
 		}
 		flow[u] = d
 	}
@@ -439,7 +446,7 @@ func (c *Computer) addLoadsTracked(t *Tree, demand, pd []float64, sup []graph.Ed
 			continue
 		}
 		if !t.Reaches(graph.NodeID(u)) {
-			return sup, fmt.Errorf("spf: node %d has demand %g but no path to %d", u, d, t.Dest)
+			return sup, fmt.Errorf("spf: node %d has demand %g but %w %d", u, d, ErrNoPath, t.Dest)
 		}
 		flow[u] = d
 	}

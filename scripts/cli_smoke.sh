@@ -2,9 +2,10 @@
 # CLI smoke test: build every command and drive its primary paths — every
 # registered topology family through topogen, the bundled campaign examples
 # through dtrscen validate, a 1-trial preset run, dtropt on an imported
-# graph, a dtrfail sweep, and the benchgate self-comparison — so no command,
-# preset or generator family can rot unnoticed. CI runs this as the
-# cli-smoke job; it is equally runnable locally.
+# graph, a dtrfail sweep, a dtrchurn generate/replay/compare cycle, and the
+# benchgate self-comparison — so no command, preset or generator family can
+# rot unnoticed. CI runs this as the cli-smoke job; it is equally runnable
+# locally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -112,7 +113,28 @@ grep -q '10000 nodes' "$bin/hier10k.out" || {
 echo "== dtrfail: sampled single-link sweep at the tiny budget"
 "$bin/dtrfail" -budget tiny -kind link -sample 4 >/dev/null
 
+echo "== dtrchurn: generate a trace, replay it cumulatively and verified"
+"$bin/dtrchurn" generate -horizon 120 -link-mtbf 60 -link-mttr 4 \
+  -weight-rate 0.05 -o "$bin/churn.jsonl" 2>/dev/null
+test -s "$bin/churn.jsonl"
+head -1 "$bin/churn.jsonl" | grep -q '"churn_trace"' || {
+  echo "FAIL: churn trace lacks its header line"; exit 1; }
+"$bin/dtrchurn" replay -budget tiny -trace "$bin/churn.jsonl" -verify \
+  >"$bin/churn-replay.jsonl" 2>/dev/null
+head -1 "$bin/churn-replay.jsonl" | grep -q '"manifest"' || {
+  echo "FAIL: churn replay stream does not start with a run manifest"; exit 1; }
+tail -1 "$bin/churn-replay.jsonl" | grep -q '"churn_summary"' || {
+  echo "FAIL: churn replay stream does not end with a summary"; exit 1; }
+grep -q '"kind":"link-down"' "$bin/churn-replay.jsonl" || {
+  echo "FAIL: churn replay emitted no link-down records"; exit 1; }
+
+echo "== dtrchurn: instant-vs-convergence comparison on a generated timeline"
+"$bin/dtrchurn" compare -budget tiny -horizon 120 -link-mtbf 60 \
+  -link-mttr 4 >"$bin/churn-compare.out" 2>/dev/null
+grep -q 'transient' "$bin/churn-compare.out" || {
+  echo "FAIL: dtrchurn compare printed no transient row"; exit 1; }
+
 echo "== benchgate: committed baseline gates against itself"
-"$bin/benchgate" -baseline BENCH_PR8.json -current BENCH_PR8.json >/dev/null
+"$bin/benchgate" -baseline BENCH_PR9.json -current BENCH_PR9.json >/dev/null
 
 echo "ok: CLI smoke passed"
