@@ -9,6 +9,7 @@
 package dualtopo_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -17,6 +18,7 @@ import (
 
 	"dualtopo"
 	"dualtopo/internal/benchkit"
+	"dualtopo/internal/spf"
 )
 
 // benchExperiment runs one registered experiment per iteration and reports
@@ -235,10 +237,18 @@ func BenchmarkAblationDelayModel(b *testing.B) {
 			tl := dualtopo.GravityMatrix(30, rng)
 			th, _ := dualtopo.RandomHighPriorityMatrix(30, 0.1, 0.3, tl.Total(), rng)
 			opts := dualtopo.Options{Kind: dualtopo.SLABased, SLA: dualtopo.DefaultSLA(), ExactDelay: exact}
-			ev, err := dualtopo.NewEvaluator(g, th, tl, opts)
+			h, err := dualtopo.NewTopologyHandle(name, g, th, tl, opts, dualtopo.SessionPool{Size: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer h.Close()
+			sess, err := h.Session(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Release(sess)   //nolint:errcheck // bench teardown
+			sess.SetRouteWorkers(0) // sole lease: restore parallel routing
+			ev := sess.Evaluator()
 			var lambda float64
 			for i := 0; i < b.N; i++ {
 				p := dualtopo.DTRDefaults()
@@ -371,7 +381,9 @@ func BenchmarkDeltaVsFullRoute(b *testing.B) {
 	b.Run("delta", func(b *testing.B) {
 		g, tm, w := build(b)
 		base := w.Clone()
-		dr := dualtopo.NewDeltaRouter(g, tm)
+		// The raw single-matrix router, below the session layer: this bench
+		// isolates Apply itself, without a handle's paired-matrix state.
+		dr := spf.NewDeltaRouter(g, tm)
 		if err := dr.Route(w); err != nil {
 			b.Fatal(err)
 		}
@@ -391,7 +403,7 @@ func BenchmarkDeltaVsFullRoute(b *testing.B) {
 		g, tm, w := build(b)
 		base := w.Clone()
 		plan := dualtopo.NewRoutingPlan(g, tm)
-		dr := dualtopo.NewDeltaRouter(g, tm)
+		dr := spf.NewDeltaRouter(g, tm)
 		if err := dr.Route(w); err != nil {
 			b.Fatal(err)
 		}

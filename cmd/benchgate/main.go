@@ -21,7 +21,7 @@
 // Usage:
 //
 //	go run ./cmd/dtrbench -o bench_new.json
-//	go run ./cmd/benchgate -baseline BENCH_PR9.json -current bench_new.json
+//	go run ./cmd/benchgate -baseline BENCH_PR10.json -current bench_new.json
 package main
 
 import (
@@ -36,7 +36,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
-	baseline := flag.String("baseline", "BENCH_PR9.json", "committed baseline report")
+	baseline := flag.String("baseline", "BENCH_PR10.json", "committed baseline report")
 	current := flag.String("current", "", "freshly generated report to gate")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
 	minSpeedup := flag.Float64("min-speedup", 1.5, "absolute par_speedup-x floor, enforced only when the current report ran on >= 4 CPUs (0 disables)")

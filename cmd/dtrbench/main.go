@@ -1,5 +1,5 @@
 // Command dtrbench runs the canonical dualtopo benchmark set and emits a
-// machine-readable JSON report (default BENCH_PR9.json) so the performance
+// machine-readable JSON report (default BENCH_PR10.json) so the performance
 // trajectory of the routing core is tracked across PRs: per-benchmark
 // ns/op, bytes/op, allocs/op, and any extra metrics (full/delta speedup,
 // parallel-route speedup, churn replay events/sec, steady-state and
@@ -9,11 +9,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/dtrbench [-o BENCH_PR9.json] [-benchtime 1s] [-quick]
+//	go run ./cmd/dtrbench [-o BENCH_PR10.json] [-benchtime 1s] [-quick]
 //	go run ./cmd/dtrbench -zoo examples/campaigns/topologies
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,8 +31,10 @@ import (
 	"dualtopo/internal/benchrep"
 	"dualtopo/internal/churn"
 	"dualtopo/internal/cost"
+	"dualtopo/internal/engine"
 	"dualtopo/internal/eval"
 	"dualtopo/internal/obs"
+	"dualtopo/internal/scenario"
 	"dualtopo/internal/spf"
 	"dualtopo/internal/topo"
 	"dualtopo/internal/traffic"
@@ -46,7 +49,7 @@ type (
 
 func main() {
 	testing.Init() // register test.* flags so benchtime is settable
-	out := flag.String("o", "BENCH_PR9.json", "output report path ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR10.json", "output report path ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
 	quick := flag.Bool("quick", false, "skip the slow series (scale instances, search, experiment)")
 	zoo := flag.String("zoo", "", "directory of Topology-Zoo GML exports: adds one route_zoo/<name> series per file")
@@ -95,6 +98,7 @@ func main() {
 		{"evaluate_dtr/workers=4", benchEvaluateDTR(4)},
 		{"churn_replay/instant", benchChurnReplay(false)},
 		{"churn_replay/convergence", benchChurnReplay(true)},
+		{"dtrd_route/warm", benchDTRDRouteWarm},
 	}
 	if !*quick {
 		benches = append(benches,
@@ -219,7 +223,7 @@ func benchRouteFull(workers int) func(*testing.B) {
 func benchDeltaApply(b *testing.B) {
 	g, tm, w := routeInstance(b)
 	base := w.Clone()
-	dr := dualtopo.NewDeltaRouter(g, tm)
+	dr := spf.NewDeltaRouter(g, tm)
 	if err := dr.Route(w); err != nil {
 		b.Fatal(err)
 	}
@@ -238,7 +242,7 @@ func benchDeltaVsFull(b *testing.B) {
 	g, tm, w := routeInstance(b)
 	base := w.Clone()
 	plan := dualtopo.NewRoutingPlan(g, tm)
-	dr := dualtopo.NewDeltaRouter(g, tm)
+	dr := spf.NewDeltaRouter(g, tm)
 	if err := dr.Route(w); err != nil {
 		b.Fatal(err)
 	}
@@ -277,6 +281,46 @@ func benchEvaluateDTR(routeWorkers int) func(*testing.B) {
 			}
 		}
 	}
+}
+
+// benchDTRDRouteWarm measures the dtrd daemon's warm per-request serving
+// path: a pooled engine session scoring one-arc weight updates on the
+// standard 30-node instance — exactly what a POST /v1/topologies/{id}/route
+// costs once the topology is hot. requests_per_sec is the serving-throughput
+// figure; the warm loop must stay at 0 allocs/op (the session's evaluator
+// reuses its delta state across requests).
+func benchDTRDRouteWarm(b *testing.B) {
+	spec := scenario.InstanceSpec{
+		Topology: "random", Nodes: 30, Links: 75, TargetUtil: 0.6, Seed: 7,
+	}
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := engine.New("dtrbench", inst, engine.PoolConfig{Size: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	sess, err := h.Session(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Release(sess) //nolint:errcheck // bench teardown
+	w := dualtopo.UniformWeights(inst.G.NumEdges())
+	base := w.Clone()
+	if _, err := sess.ScoreSTR(w); err != nil { // warm the session
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchkit.Step(w, base, i, inst.G.NumEdges())
+		if _, err := sess.ScoreSTR(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "requests_per_sec")
 }
 
 // benchChurnReplay replays a generated churn timeline — link flaps plus

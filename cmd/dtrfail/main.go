@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"dualtopo/internal/engine"
 	"dualtopo/internal/eval"
 	"dualtopo/internal/obs"
 	"dualtopo/internal/render"
@@ -142,11 +144,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	e, err := pt.Inst.Evaluator()
+	// Lease the sweep's evaluator through the engine — the same entry point
+	// the dtrd daemon serves what-ifs from — keeping batch and served sweeps
+	// bitwise-identical. The custom Options (mode, route workers) still apply:
+	// the sweeper is wired around the leased session's evaluator.
+	h, err := engine.New("dtrfail", pt.Inst, engine.PoolConfig{Size: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sw := resilience.NewSweeper(e, opts)
+	defer h.Close()
+	sess, err := h.Session(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Release(sess) //nolint:errcheck // process exits right after
+	sw := resilience.NewSweeperFrom(sess.Evaluator(), opts)
 	start := time.Now()
 	fs, err := resilience.CompareSchemes(sw, pt.STR.W, pt.DTR.WH, pt.DTR.WL, states)
 	if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"dualtopo"
+	"dualtopo/internal/engine"
 	"dualtopo/internal/eval"
 	"dualtopo/internal/experiments"
 	"dualtopo/internal/graph"
@@ -89,10 +91,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ev, err := inst.Evaluator()
+	// Construct the evaluator through the engine: same entry point the dtrd
+	// daemon serves from, so batch and served results stay bitwise-identical.
+	h, err := engine.New("dtropt", inst, engine.PoolConfig{Size: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer h.Close()
+	sess, err := h.Session(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Release(sess)   //nolint:errcheck // process exits right after
+	sess.SetRouteWorkers(0) // sole lease: restore the parallel batch default
+	ev := sess.Evaluator()
 	manifest.SpecHash = obs.SpecHash(struct {
 		Topo, Graph, Kind, Budget string
 		Nodes, Links              int

@@ -28,19 +28,31 @@
 //     classified forwarding) to deploy and verify computed weights;
 //   - a discrete-event priority-queue simulator validating the analytic
 //     delay models;
-//   - runners regenerating every table and figure of the paper (§5).
+//   - runners regenerating every table and figure of the paper (§5);
+//   - a session/handle engine and the dtrd daemon serving routing queries
+//     over HTTP+JSON (route, what-if, weight search) from pooled sessions.
 //
 // # Quick start
+//
+// The engine API is the front door: load (or wrap) a problem instance once
+// into a TopologyHandle, lease a RoutingSession per unit of work, and hand
+// its evaluator to the search and analysis routines.
 //
 //	rng := rand.New(rand.NewPCG(1, 1))
 //	g, _ := dualtopo.RandomTopology(30, 75, 500, rng)
 //	dualtopo.AssignUniformDelays(g, 1.2, 15, rng)
 //	tl := dualtopo.GravityMatrix(30, rng)
 //	th, _ := dualtopo.RandomHighPriorityMatrix(30, 0.1, 0.3, tl.Total(), rng)
-//	ev, _ := dualtopo.NewEvaluator(g, th, tl, dualtopo.DefaultOptions())
-//	str, _ := dualtopo.OptimizeSTR(ev, dualtopo.STRDefaults())
-//	dtr, _ := dualtopo.OptimizeDTR(ev, dualtopo.DTRDefaults())
+//	h, _ := dualtopo.NewTopologyHandle("quickstart", g, th, tl, dualtopo.DefaultOptions(), dualtopo.SessionPool{})
+//	sess, _ := h.Session(context.Background())
+//	defer h.Release(sess)
+//	str, _ := dualtopo.OptimizeSTR(sess.Evaluator(), dualtopo.STRDefaults())
+//	dtr, _ := dualtopo.OptimizeDTR(sess.Evaluator(), dualtopo.DTRDefaults())
 //	fmt.Println(str.Result.PhiL / dtr.Result.PhiL) // the paper's RL
+//
+// One handle serves any number of concurrent sessions; results are bitwise
+// independent of pooling and lease order. cmd/dtrd exposes the same engine
+// over HTTP for long-lived serving.
 //
 // See examples/ for complete programs and EXPERIMENTS.md for measured
 // reproductions of the paper's results.
@@ -50,6 +62,7 @@ import (
 	"math/rand/v2"
 
 	"dualtopo/internal/cost"
+	"dualtopo/internal/engine"
 	"dualtopo/internal/eval"
 	"dualtopo/internal/experiments"
 	"dualtopo/internal/graph"
@@ -62,6 +75,53 @@ import (
 	"dualtopo/internal/topo"
 	"dualtopo/internal/traffic"
 )
+
+// Engine: the session/handle serving core. A TopologyHandle owns one
+// immutable problem instance (graph, matrices, objective options) and a
+// bounded pool of RoutingSessions; each session owns private routing state
+// — an evaluator clone, an incremental router with checkpoint/revert, a
+// failure sweeper — leased per unit of work and returned with Release.
+type (
+	// TopologyHandle is the immutable, concurrency-safe half of a loaded
+	// topology plus its session pool.
+	TopologyHandle = engine.Handle
+	// RoutingSession is one leased unit of mutable routing state.
+	RoutingSession = engine.Session
+	// SessionPool sizes a handle's session pool (Size, LeaseTimeout).
+	SessionPool = engine.PoolConfig
+	// EngineSpec describes an instance to load through the topology and
+	// traffic registries.
+	EngineSpec = engine.Spec
+	// InstanceSpec is the declarative problem-instance description shared
+	// by the engine, the scenario campaigns and the batch CLIs.
+	InstanceSpec = scenario.InstanceSpec
+	// Instance is a fully built problem: topology, matrices, options.
+	Instance = scenario.Instance
+)
+
+// Engine session-lifecycle errors.
+var (
+	// ErrSessionLeaseTimeout: every pooled session stayed leased past the
+	// lease timeout.
+	ErrSessionLeaseTimeout = engine.ErrLeaseTimeout
+	// ErrHandleClosed: Session was called on a closed handle.
+	ErrHandleClosed = engine.ErrClosed
+	// ErrLeakedCheckpoint: a session was released with an armed checkpoint
+	// (it is reset before pooling; the leak is a caller bug).
+	ErrLeakedCheckpoint = engine.ErrLeakedCheckpoint
+)
+
+// LoadTopology builds the instance described by spec through the generator
+// registries and returns its handle — the programmatic equivalent of the
+// dtrd daemon's POST /v1/topologies.
+func LoadTopology(spec EngineSpec) (*TopologyHandle, error) { return engine.Load(spec) }
+
+// NewTopologyHandle wraps an already-built problem (an imported graph,
+// hand-constructed matrices) in a handle. The inputs must not be mutated
+// afterwards: every session reads them.
+func NewTopologyHandle(name string, g *Graph, th, tl *TrafficMatrix, opts Options, pool SessionPool) (*TopologyHandle, error) {
+	return engine.New(name, &scenario.Instance{G: g, TH: th, TL: tl, Opts: opts}, pool)
+}
 
 // Graph types.
 type (
@@ -227,6 +287,10 @@ func NewRoutingPlan(g *Graph, tm *TrafficMatrix) *RoutingPlan { return spf.NewPl
 // NewDeltaRouter prepares incremental routing of the given matrices'
 // destinations. Call Route once, then Apply per weight change; results are
 // bitwise-equal to routing from scratch.
+//
+// Deprecated: lease a RoutingSession from a TopologyHandle and use its
+// Router method — the session scopes the router's mutable state to one
+// lease and catches leaked checkpoints at Release.
 func NewDeltaRouter(g *Graph, tms ...*TrafficMatrix) *DeltaRouter {
 	return spf.NewDeltaRouter(g, tms...)
 }
@@ -268,6 +332,11 @@ func DefaultSLA() SLA { return cost.DefaultSLA() }
 func FortzThorupCost(load, capacity float64) float64 { return cost.Phi(load, capacity) }
 
 // NewEvaluator builds an evaluator for one problem instance.
+//
+// Deprecated: wrap the instance in a handle with NewTopologyHandle (or
+// LoadTopology) and use Session(ctx).Evaluator() — the handle shares the
+// immutable instance across concurrent sessions and pools the mutable
+// routing state.
 func NewEvaluator(g *Graph, th, tl *TrafficMatrix, opts Options) (*Evaluator, error) {
 	return eval.New(g, th, tl, opts)
 }
@@ -437,12 +506,18 @@ func EnumerateFailures(g *Graph, m FailureModel) ([]FailureState, error) {
 }
 
 // NewFailureSweeper builds a sweeper over e's problem instance.
+//
+// Deprecated: use RoutingSession.SweepSTR / SweepDTR, which scope the
+// sweeper's incremental state to one lease.
 func NewFailureSweeper(e *Evaluator, opts FailureSweepOptions) *FailureSweeper {
 	return resilience.NewSweeper(e, opts)
 }
 
 // CompareUnderFailures sweeps both schemes' weight settings over the same
 // failure states and pairs the ΦL degradations.
+//
+// Deprecated: use RoutingSession.CompareUnderFailures, which owns its
+// sweeper and needs no hand-wired plumbing.
 func CompareUnderFailures(sw *FailureSweeper, wSTR, wH, wL Weights, states []FailureState) (*FailureSamples, error) {
 	return resilience.CompareSchemes(sw, wSTR, wH, wL, states)
 }

@@ -1,6 +1,7 @@
 package dualtopo_test
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"os"
@@ -24,10 +25,21 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := dualtopo.NewEvaluator(g, th, tl, dualtopo.DefaultOptions())
+	h, err := dualtopo.NewTopologyHandle("e2e", g, th, tl, dualtopo.DefaultOptions(), dualtopo.SessionPool{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer h.Close()
+	sess, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := h.Release(sess); err != nil {
+			t.Errorf("release: %v", err)
+		}
+	}()
+	ev := sess.Evaluator()
 
 	strParams := dualtopo.STRDefaults()
 	strParams.Iterations, strParams.Candidates, strParams.Workers = 200, 4, 1

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -39,10 +40,18 @@ func main() {
 	tl.Scale(scale)
 
 	opts := dualtopo.Options{Kind: dualtopo.SLABased, SLA: dualtopo.DefaultSLA()}
-	ev, err := dualtopo.NewEvaluator(g, th, tl, opts)
+	h, err := dualtopo.NewTopologyHandle("isp-sla", g, th, tl, opts, dualtopo.SessionPool{Size: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer h.Close()
+	sess, err := h.Session(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Release(sess)   //nolint:errcheck // process exits right after
+	sess.SetRouteWorkers(0) // sole lease: use all cores
+	ev := sess.Evaluator()
 
 	strParams := dualtopo.STRDefaults()
 	strParams.Iterations, strParams.Candidates = 1500, 5

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -41,10 +42,21 @@ func main() {
 	th.Scale(scale)
 	tl.Scale(scale)
 
-	ev, err := dualtopo.NewEvaluator(g, th, tl, dualtopo.DefaultOptions())
+	// Wrap the instance in a handle and lease a session: the handle holds the
+	// immutable problem, the session the mutable routing state. A batch
+	// program like this one needs a single session for its whole run.
+	h, err := dualtopo.NewTopologyHandle("quickstart", g, th, tl, dualtopo.DefaultOptions(), dualtopo.SessionPool{Size: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer h.Close()
+	sess, err := h.Session(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Release(sess)   //nolint:errcheck // process exits right after
+	sess.SetRouteWorkers(0) // sole lease: use all cores
+	ev := sess.Evaluator()
 
 	strParams := dualtopo.STRDefaults()
 	strParams.Iterations, strParams.Candidates = 2000, 5

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -55,10 +56,18 @@ func runScenario(placement dualtopo.SinkPlacement) {
 	th.Scale(scale)
 	tl.Scale(scale)
 
-	ev, err := dualtopo.NewEvaluator(g, th, tl, dualtopo.DefaultOptions())
+	h, err := dualtopo.NewTopologyHandle("sink-datacenter", g, th, tl, dualtopo.DefaultOptions(), dualtopo.SessionPool{Size: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer h.Close()
+	sess, err := h.Session(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Release(sess)   //nolint:errcheck // process exits right after
+	sess.SetRouteWorkers(0) // sole lease: use all cores
+	ev := sess.Evaluator()
 	strParams := dualtopo.STRDefaults()
 	strParams.Iterations, strParams.Candidates = 1500, 5
 	str, err := dualtopo.OptimizeSTR(ev, strParams)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,10 +30,17 @@ func main() {
 	tl := dualtopo.NewTrafficMatrix(3)
 	tl.Set(0, 2, 2.0/3) // 2/3 unit of low-priority A->C
 
-	ev, err := dualtopo.NewEvaluator(g, th, tl, dualtopo.DefaultOptions())
+	h, err := dualtopo.NewTopologyHandle("triangle", g, th, tl, dualtopo.DefaultOptions(), dualtopo.SessionPool{Size: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer h.Close()
+	sess, err := h.Session(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Release(sess) //nolint:errcheck // process exits right after
+	ev := sess.Evaluator()
 
 	// Candidate STR routings from the paper.
 	direct, err := ev.EvaluateSTR(dualtopo.UniformWeights(g.NumEdges()))

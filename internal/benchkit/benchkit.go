@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"dualtopo"
+	"dualtopo/internal/eval"
 	"dualtopo/internal/scenario"
 	"dualtopo/internal/topo"
 )
@@ -117,5 +118,5 @@ func EvalInstance(kind dualtopo.ObjectiveKind) (*dualtopo.Evaluator, error) {
 	}
 	opts := dualtopo.DefaultOptions()
 	opts.Kind = kind
-	return dualtopo.NewEvaluator(g, th, tl, opts)
+	return eval.New(g, th, tl, opts)
 }

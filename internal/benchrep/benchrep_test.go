@@ -156,9 +156,9 @@ func TestLoadFile(t *testing.T) {
 }
 
 // TestCommittedBaselineLoads guards the committed baseline file itself: the
-// gate job is vacuous if BENCH_PR9.json ever becomes unreadable.
+// gate job is vacuous if BENCH_PR10.json ever becomes unreadable.
 func TestCommittedBaselineLoads(t *testing.T) {
-	r, err := LoadFile(filepath.Join("..", "..", "BENCH_PR9.json"))
+	r, err := LoadFile(filepath.Join("..", "..", "BENCH_PR10.json"))
 	if err != nil {
 		t.Fatal(err)
 	}

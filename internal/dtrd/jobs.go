@@ -1,0 +1,134 @@
+package dtrd
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dualtopo/internal/engine"
+	"dualtopo/internal/experiments"
+	"dualtopo/internal/search"
+)
+
+// job is one asynchronous weight search. Searches run for seconds to hours
+// depending on budget, so POST .../search returns 202 with a job ID
+// immediately; the goroutine holds one pooled session for the duration and
+// clients poll GET /v1/jobs/{id}.
+type job struct {
+	id     string
+	topoID string
+
+	mu     sync.Mutex
+	status string // running | done | failed
+	result *SearchResult
+	errMsg string
+}
+
+func (j *job) snapshot() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobInfo{
+		ID:       j.id,
+		Topology: j.topoID,
+		Status:   j.status,
+		Result:   j.result,
+		Error:    j.errMsg,
+	}
+}
+
+func (j *job) finish(res *SearchResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.status = "failed"
+		j.errMsg = err.Error()
+		return
+	}
+	j.status = "done"
+	j.result = res
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	t := s.topo(w, r)
+	if t == nil {
+		return
+	}
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid search request: "+err.Error())
+		return
+	}
+	if req.Budget == "" {
+		req.Budget = "tiny"
+	}
+	preset, err := experiments.PresetByName(req.Budget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if req.Guide < 0 || req.Guide > 1 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "guide must be in [0,1]")
+		return
+	}
+
+	s.mu.Lock()
+	s.nextJob++
+	j := &job{id: fmt.Sprintf("j%d", s.nextJob), topoID: t.info.ID, status: "running"}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.mu.Unlock()
+
+	s.jobsWG.Add(1)
+	s.met.jobsRunning.Add(1)
+	go func() {
+		defer s.jobsWG.Done()
+		defer s.met.jobsRunning.Add(-1)
+		j.finish(s.runSearch(t, preset, req))
+	}()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// runSearch executes the dtropt pipeline on a pooled session: STR from unit
+// weights (seed = request seed), then the paper's DTR heuristic warm-started
+// from the STR setting (seed+1). Budgets and seeding match dtropt exactly,
+// so a daemon search reproduces the batch CLI bit for bit.
+func (s *Server) runSearch(t *topology, preset experiments.Preset, req SearchRequest) (*SearchResult, error) {
+	sess, err := t.handle.Session(context.Background())
+	if err != nil {
+		if err == engine.ErrLeaseTimeout {
+			return nil, fmt.Errorf("no session available for search: %w", err)
+		}
+		return nil, err
+	}
+	defer func() {
+		sess.Reset()           // a search touches everything; hand the pool a clean slate
+		t.handle.Release(sess) //nolint:errcheck // Reset just cleared any checkpoint
+	}()
+
+	ev := sess.Evaluator()
+	strParams := preset.STR
+	strParams.Seed = req.Seed
+	str, err := search.STR(ev, strParams)
+	if err != nil {
+		return nil, err
+	}
+	dtrParams := preset.DTR
+	dtrParams.Seed = req.Seed + 1
+	dtrParams.Guide = req.Guide
+	dtrParams.Prune = req.Prune
+	dtr, err := search.DTRFrom(ev, str.W, str.W, dtrParams)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchResult{
+		STRWeights:  str.W,
+		WH:          dtr.WH,
+		WL:          dtr.WL,
+		STRPhiH:     str.Result.PhiH,
+		STRPhiL:     str.Result.PhiL,
+		DTRPhiH:     dtr.Result.PhiH,
+		DTRPhiL:     dtr.Result.PhiL,
+		Evaluations: str.Evaluations + dtr.Evaluations,
+	}, nil
+}

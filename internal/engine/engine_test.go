@@ -1,0 +1,464 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"dualtopo/internal/eval"
+	"dualtopo/internal/graph"
+	"dualtopo/internal/resilience"
+	"dualtopo/internal/scenario"
+	"dualtopo/internal/spf"
+)
+
+// testSpec is the instance every engine test loads: small enough that the
+// full suite stays fast, irregular enough (random topology, seeded traffic)
+// that routing results are not trivially symmetric.
+func testSpec() scenario.InstanceSpec {
+	return scenario.InstanceSpec{
+		Topology:   scenario.TopoRandom,
+		Nodes:      14,
+		Links:      35,
+		TargetUtil: 0.6,
+		Seed:       11,
+	}
+}
+
+func loadTestHandle(t *testing.T, pool PoolConfig) *Handle {
+	t.Helper()
+	h, err := Load(Spec{Name: "test", Instance: testSpec(), Pool: pool})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+// perturb derives the q-th deterministic weight setting from uniform.
+func perturb(n, q int) spf.Weights {
+	w := spf.Uniform(n)
+	for i := range w {
+		w[i] = 1 + (i*7+q*13)%9
+	}
+	return w
+}
+
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestSessionMatchesHandWiredEvaluator(t *testing.T) {
+	h := loadTestHandle(t, DefaultPool())
+	inst := h.Instance()
+
+	ref, err := eval.New(inst.G, inst.TH, inst.TL, inst.Opts)
+	if err != nil {
+		t.Fatalf("eval.New: %v", err)
+	}
+	ref.SetRouteWorkers(1)
+
+	s, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer func() {
+		if err := h.Release(s); err != nil {
+			t.Errorf("Release: %v", err)
+		}
+	}()
+
+	w := perturb(inst.G.NumEdges(), 3)
+	want, err := ref.EvaluateSTR(w)
+	if err != nil {
+		t.Fatalf("ref EvaluateSTR: %v", err)
+	}
+	got, err := s.EvaluateSTR(w)
+	if err != nil {
+		t.Fatalf("session EvaluateSTR: %v", err)
+	}
+	if !sameFloat(got.PhiH, want.PhiH) || !sameFloat(got.PhiL, want.PhiL) ||
+		!sameFloat(got.Lambda, want.Lambda) || got.Violations != want.Violations {
+		t.Fatalf("session result %+v != hand-wired %+v", got, want)
+	}
+
+	wH := perturb(inst.G.NumEdges(), 5)
+	wL := perturb(inst.G.NumEdges(), 8)
+	wantD, err := ref.EvaluateDTR(wH, wL)
+	if err != nil {
+		t.Fatalf("ref EvaluateDTR: %v", err)
+	}
+	gotD, err := s.EvaluateDTR(wH, wL)
+	if err != nil {
+		t.Fatalf("session EvaluateDTR: %v", err)
+	}
+	if !sameFloat(gotD.PhiH, wantD.PhiH) || !sameFloat(gotD.PhiL, wantD.PhiL) ||
+		!sameFloat(gotD.Lambda, wantD.Lambda) {
+		t.Fatalf("session DTR %+v != hand-wired %+v", gotD, wantD)
+	}
+}
+
+// routeKey and sweepKey are the bitwise fingerprints the concurrency
+// property test compares.
+type routeKey struct {
+	phiH, phiL, lambda uint64
+	violations         int
+}
+
+type sweepKey struct {
+	base       uint64
+	phiL       []uint64
+	surv, disc int
+}
+
+func routeFingerprint(r *eval.Result) routeKey {
+	return routeKey{
+		phiH:       math.Float64bits(r.PhiH),
+		phiL:       math.Float64bits(r.PhiL),
+		lambda:     math.Float64bits(r.Lambda),
+		violations: r.Violations,
+	}
+}
+
+func sweepFingerprint(sw *resilience.Sweep) sweepKey {
+	k := sweepKey{
+		base: math.Float64bits(sw.Base),
+		surv: sw.Survivors,
+		disc: sw.Disconnecting,
+	}
+	k.phiL = make([]uint64, len(sw.PhiL))
+	for i, v := range sw.PhiL {
+		k.phiL[i] = math.Float64bits(v)
+	}
+	return k
+}
+
+func sameSweep(a, b sweepKey) bool {
+	if a.base != b.base || a.surv != b.surv || a.disc != b.disc || len(a.phiL) != len(b.phiL) {
+		return false
+	}
+	for i := range a.phiL {
+		if a.phiL[i] != b.phiL[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentSessionsBitwiseEqualSequential is the headline property of
+// the pool: N goroutines hammering route and what-if queries on one shared
+// handle produce, query for query, results bitwise equal to a sequential
+// hand-wired evaluator and sweeper. Run under -race this also proves the
+// lease protocol isolates session state.
+func TestConcurrentSessionsBitwiseEqualSequential(t *testing.T) {
+	h := loadTestHandle(t, PoolConfig{Size: 4})
+	inst := h.Instance()
+	nArcs := inst.G.NumEdges()
+
+	states, err := resilience.Enumerate(inst.G, resilience.Model{Kind: "link"})
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	if len(states) > 8 {
+		states = states[:8]
+	}
+
+	const queries = 24
+	// Sequential baseline: one hand-wired evaluator + sweeper, all queries
+	// in order.
+	ref, err := eval.New(inst.G, inst.TH, inst.TL, inst.Opts)
+	if err != nil {
+		t.Fatalf("eval.New: %v", err)
+	}
+	ref.SetRouteWorkers(1)
+	refSweep := resilience.NewSweeperFrom(ref, resilience.Options{RouteWorkers: 1})
+
+	wantRoute := make([]routeKey, queries)
+	wantSweep := make([]sweepKey, queries)
+	for q := 0; q < queries; q++ {
+		w := perturb(nArcs, q)
+		r, err := ref.EvaluateSTR(w)
+		if err != nil {
+			t.Fatalf("baseline route %d: %v", q, err)
+		}
+		wantRoute[q] = routeFingerprint(r)
+		sw, err := refSweep.SweepSTR(w, states)
+		if err != nil {
+			t.Fatalf("baseline sweep %d: %v", q, err)
+		}
+		wantSweep[q] = sweepFingerprint(sw)
+	}
+
+	// Concurrent replay: each query leases its own session off the shared
+	// handle; goroutines interleave freely.
+	var wg sync.WaitGroup
+	errs := make(chan error, queries)
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			s, err := h.Session(context.Background())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer func() {
+				if err := h.Release(s); err != nil {
+					errs <- err
+				}
+			}()
+			w := perturb(nArcs, q)
+			r, err := s.EvaluateSTR(w)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if routeFingerprint(r) != wantRoute[q] {
+				t.Errorf("query %d: concurrent route differs from sequential", q)
+			}
+			sw, err := s.SweepSTR(w, states)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !sameSweep(sweepFingerprint(sw), wantSweep[q]) {
+				t.Errorf("query %d: concurrent sweep differs from sequential", q)
+			}
+		}(q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent query: %v", err)
+	}
+}
+
+func TestPoolExhaustionAndLeaseTimeout(t *testing.T) {
+	h := loadTestHandle(t, PoolConfig{Size: 1, LeaseTimeout: 30 * time.Millisecond})
+	s, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("first Session: %v", err)
+	}
+	if _, err := h.Session(context.Background()); !errors.Is(err, ErrLeaseTimeout) {
+		t.Fatalf("second Session err = %v, want ErrLeaseTimeout", err)
+	}
+	// Context cancellation preempts the timeout.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.Session(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Session err = %v, want context.Canceled", err)
+	}
+	if err := h.Release(s); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	// Released session is reusable.
+	s2, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session after release: %v", err)
+	}
+	if s2 != s {
+		t.Fatalf("pool did not reuse the released session")
+	}
+	if err := h.Release(s2); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+}
+
+// TestLeakedCheckpointDetectedOnRelease is the stale-state foot-gun test: a
+// session released with an armed checkpoint must be flagged AND reset, so
+// the next lease of the pooled session starts clean and still routes
+// bitwise-correctly.
+func TestLeakedCheckpointDetectedOnRelease(t *testing.T) {
+	h := loadTestHandle(t, PoolConfig{Size: 1})
+	inst := h.Instance()
+	w := perturb(inst.G.NumEdges(), 1)
+
+	s, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if err := s.Checkpoint(w); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Single-level: a second checkpoint must refuse.
+	if err := s.Checkpoint(w); !errors.Is(err, ErrCheckpointArmed) {
+		t.Fatalf("second Checkpoint err = %v, want ErrCheckpointArmed", err)
+	}
+	// Leak it: release without Revert.
+	if err := h.Release(s); !errors.Is(err, ErrLeakedCheckpoint) {
+		t.Fatalf("Release err = %v, want ErrLeakedCheckpoint", err)
+	}
+
+	// The pooled session must come back disarmed and fully usable.
+	s2, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session after leak: %v", err)
+	}
+	if s2.checkpointArmed() {
+		t.Fatal("re-leased session still has an armed checkpoint")
+	}
+	ref, err := eval.New(inst.G, inst.TH, inst.TL, inst.Opts)
+	if err != nil {
+		t.Fatalf("eval.New: %v", err)
+	}
+	ref.SetRouteWorkers(1)
+	want, err := ref.EvaluateSTR(w)
+	if err != nil {
+		t.Fatalf("ref EvaluateSTR: %v", err)
+	}
+	got, err := s2.EvaluateSTR(w)
+	if err != nil {
+		t.Fatalf("EvaluateSTR after reset: %v", err)
+	}
+	if routeFingerprint(got) != routeFingerprint(want) {
+		t.Fatalf("post-leak session result differs from hand-wired evaluator")
+	}
+	if err := h.Release(s2); err != nil {
+		t.Fatalf("clean Release err = %v", err)
+	}
+}
+
+func TestCheckpointRevertRoundTrip(t *testing.T) {
+	h := loadTestHandle(t, DefaultPool())
+	inst := h.Instance()
+	w := perturb(inst.G.NumEdges(), 2)
+
+	s, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer h.Release(s) //nolint:errcheck
+
+	if err := s.Checkpoint(w); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Mutate: fail the first arc, reroute incrementally.
+	dr := s.Router()
+	wf := append(spf.Weights(nil), w...)
+	wf[0] = spf.Disabled
+	if _, err := dr.Apply(wf, []graph.EdgeID{0}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s.Revert()
+	if s.checkpointArmed() {
+		t.Fatal("Revert left the checkpoint armed")
+	}
+	if err := h.Release(s); err != nil {
+		t.Fatalf("Release after Revert: %v", err)
+	}
+}
+
+func TestSessionReset(t *testing.T) {
+	h := loadTestHandle(t, DefaultPool())
+	inst := h.Instance()
+	w := perturb(inst.G.NumEdges(), 4)
+
+	s, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer h.Release(s) //nolint:errcheck
+
+	if err := s.Checkpoint(w); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	s.Reset()
+	if s.checkpointArmed() {
+		t.Fatal("Reset left the checkpoint armed")
+	}
+	if s.Router().Valid() {
+		t.Fatal("Reset left the router valid")
+	}
+	if _, err := s.EvaluateSTR(w); err != nil {
+		t.Fatalf("EvaluateSTR after Reset: %v", err)
+	}
+}
+
+func TestHandleClose(t *testing.T) {
+	h, err := Load(Spec{Name: "close-test", Instance: testSpec()})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	s, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	h.Close()
+	if !h.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if _, err := h.Session(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Session after Close err = %v, want ErrClosed", err)
+	}
+	// In-flight sessions still release cleanly (dropped, not pooled).
+	if err := h.Release(s); err != nil {
+		t.Fatalf("Release after Close: %v", err)
+	}
+	h.Close() // double Close is a no-op
+}
+
+func TestReleaseForeignSession(t *testing.T) {
+	h1 := loadTestHandle(t, DefaultPool())
+	h2 := loadTestHandle(t, DefaultPool())
+	s, err := h1.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if err := h2.Release(s); !errors.Is(err, ErrForeignSession) {
+		t.Fatalf("foreign Release err = %v, want ErrForeignSession", err)
+	}
+	if err := h1.Release(s); err != nil {
+		t.Fatalf("home Release: %v", err)
+	}
+}
+
+func TestCompareUnderFailuresMatchesDirect(t *testing.T) {
+	h := loadTestHandle(t, DefaultPool())
+	inst := h.Instance()
+	nArcs := inst.G.NumEdges()
+	wSTR := perturb(nArcs, 1)
+	wH := perturb(nArcs, 2)
+	wL := perturb(nArcs, 3)
+
+	states, err := resilience.Enumerate(inst.G, resilience.Model{Kind: "link"})
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	if len(states) > 6 {
+		states = states[:6]
+	}
+
+	ref, err := eval.New(inst.G, inst.TH, inst.TL, inst.Opts)
+	if err != nil {
+		t.Fatalf("eval.New: %v", err)
+	}
+	ref.SetRouteWorkers(1)
+	refSweep := resilience.NewSweeperFrom(ref, resilience.Options{RouteWorkers: 1})
+	want, err := resilience.CompareSchemes(refSweep, wSTR, wH, wL, states)
+	if err != nil {
+		t.Fatalf("direct CompareSchemes: %v", err)
+	}
+
+	s, err := h.Session(context.Background())
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	defer h.Release(s) //nolint:errcheck
+	got, err := s.CompareUnderFailures(wSTR, wH, wL, states)
+	if err != nil {
+		t.Fatalf("session CompareUnderFailures: %v", err)
+	}
+	if !sameFloat(got.BaseSTR, want.BaseSTR) || !sameFloat(got.BaseDTR, want.BaseDTR) ||
+		got.Disconnecting != want.Disconnecting || len(got.STR) != len(want.STR) {
+		t.Fatalf("session compare header differs: got %+v want %+v", got, want)
+	}
+	for i := range got.STR {
+		if !sameFloat(got.STR[i], want.STR[i]) || !sameFloat(got.DTR[i], want.DTR[i]) {
+			t.Fatalf("sample %d differs: got (%g,%g) want (%g,%g)",
+				i, got.STR[i], got.DTR[i], want.STR[i], want.DTR[i])
+		}
+	}
+}

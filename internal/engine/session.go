@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"errors"
+
+	"dualtopo/internal/eval"
+	"dualtopo/internal/resilience"
+	"dualtopo/internal/spf"
+)
+
+// ErrCheckpointArmed reports a Checkpoint call while one is already armed.
+// Session checkpoints are deliberately single-level: re-basing silently (as
+// the underlying router allows) would let an outer what-if swallow an inner
+// one's rollback point, which is exactly the class of bug the release-time
+// leak assertion exists to catch.
+var ErrCheckpointArmed = errors.New("engine: checkpoint already armed (Revert first)")
+
+// Session is the mutable half of a topology lease: a private evaluator
+// clone, a lazily-built incremental router with checkpoint/revert, and a
+// lazily-built failure sweeper. Sessions are NOT safe for concurrent use —
+// concurrency comes from leasing several sessions off one Handle. All
+// routing inside a session is sequential (RouteWorkers = 1), so results are
+// bitwise-independent of which pooled session serves a request.
+type Session struct {
+	h  *Handle
+	ev *eval.Evaluator
+	dr *spf.DeltaRouter    // lazy; carries both traffic matrices
+	sw *resilience.Sweeper // lazy; owns its own per-scheme routers
+}
+
+func newSession(h *Handle) *Session {
+	ev := h.base.Clone()
+	ev.SetRouteWorkers(1)
+	return &Session{h: h, ev: ev}
+}
+
+// Evaluator exposes the session's private evaluator for callers that need
+// the full scoring surface (objective fast paths, attribution). The
+// evaluator stays owned by the session: do not retain it past Release.
+func (s *Session) Evaluator() *eval.Evaluator { return s.ev }
+
+// SetRouteWorkers overrides the session's SPF worker bound (0 = automatic,
+// 1 = sequential). Sessions default to sequential so pooled concurrency
+// composes; a batch CLI holding a handle's only session can restore the
+// parallel default. Results are bitwise-identical either way.
+func (s *Session) SetRouteWorkers(n int) { s.ev.SetRouteWorkers(n) }
+
+// EvaluateSTR scores single-topology routing under w.
+func (s *Session) EvaluateSTR(w spf.Weights) (*eval.Result, error) {
+	met.routes.Inc()
+	return s.ev.EvaluateSTR(w)
+}
+
+// EvaluateDTR scores dual-topology routing under (wH, wL).
+func (s *Session) EvaluateDTR(wH, wL spf.Weights) (*eval.Result, error) {
+	met.routes.Inc()
+	return s.ev.EvaluateDTR(wH, wL)
+}
+
+// ScoreSTR is the allocation-free warm path: ObjectiveSTR by value. It is
+// what a serving benchmark should measure.
+func (s *Session) ScoreSTR(w spf.Weights) (eval.STRObjective, error) {
+	met.routes.Inc()
+	return s.ev.ObjectiveSTR(w)
+}
+
+// Router returns the session's incremental router (created on first use,
+// carrying both traffic matrices), for callers that drive Apply/Checkpoint
+// directly. Like the evaluator, it must not outlive the lease.
+func (s *Session) Router() *spf.DeltaRouter {
+	if s.dr == nil {
+		s.dr = spf.NewDeltaRouter(s.h.inst.G, s.h.inst.TH, s.h.inst.TL)
+	}
+	return s.dr
+}
+
+// Checkpoint routes the session's router at w — incrementally when its
+// current state allows — and arms a rollback point, so a sequence of
+// what-if Applies can be undone with one Revert. Checkpoints are
+// single-level: a second Checkpoint without an intervening Revert fails
+// with ErrCheckpointArmed.
+func (s *Session) Checkpoint(w spf.Weights) error {
+	if s.checkpointArmed() {
+		return ErrCheckpointArmed
+	}
+	dr := s.Router()
+	if dr.Valid() {
+		changed := spf.DiffArcs(dr.Weights(), w, nil)
+		if _, err := dr.Apply(w, changed); err != nil {
+			return err
+		}
+	} else if err := dr.Route(w); err != nil {
+		return err
+	}
+	return dr.Checkpoint()
+}
+
+// Revert rolls the router back to the armed checkpoint and disarms it; it
+// is a no-op when nothing is armed.
+func (s *Session) Revert() {
+	if s.dr != nil {
+		s.dr.Revert()
+	}
+}
+
+// checkpointArmed reports whether the session would fail the release-time
+// leak assertion.
+func (s *Session) checkpointArmed() bool {
+	return s.dr != nil && s.dr.CheckpointArmed()
+}
+
+// Reset discards every piece of incremental state — evaluator delta
+// caches, the router's trees and any armed checkpoint, the sweeper — so
+// the next operation recomputes from scratch. Use it when a request failed
+// midway and the session's state can no longer be trusted; Release invokes
+// it automatically on a leaked checkpoint.
+func (s *Session) Reset() {
+	met.resets.Inc()
+	s.ev.ResetDelta()
+	if s.dr != nil {
+		s.dr.Reset()
+	}
+	s.sw = nil
+}
+
+// sweeper lazily builds the failure sweeper around the session's own
+// evaluator (no clone: the session is single-user by contract).
+func (s *Session) sweeper() *resilience.Sweeper {
+	if s.sw == nil {
+		s.sw = resilience.NewSweeperFrom(s.ev, resilience.Options{RouteWorkers: 1})
+	}
+	return s.sw
+}
+
+// SweepSTR evaluates single-topology routing under w across the failure
+// states via the incremental disable → delta → repair path.
+func (s *Session) SweepSTR(w spf.Weights, states []resilience.State) (*resilience.Sweep, error) {
+	met.whatifs.Add(int64(len(states)))
+	sw, err := s.sweeper().SweepSTR(w, states)
+	if err != nil {
+		s.sw = nil // sweep state is suspect after a failure; rebuild next time
+	}
+	return sw, err
+}
+
+// SweepDTR evaluates dual-topology routing under (wH, wL) across the
+// failure states.
+func (s *Session) SweepDTR(wH, wL spf.Weights, states []resilience.State) (*resilience.Sweep, error) {
+	met.whatifs.Add(int64(len(states)))
+	sw, err := s.sweeper().SweepDTR(wH, wL, states)
+	if err != nil {
+		s.sw = nil
+	}
+	return sw, err
+}
+
+// CompareUnderFailures sweeps the STR and DTR schemes over the same states
+// and pairs the surviving outcomes — the session-scoped equivalent of
+// resilience.CompareSchemes on a hand-wired sweeper.
+func (s *Session) CompareUnderFailures(wSTR, wH, wL spf.Weights, states []resilience.State) (*resilience.Samples, error) {
+	met.whatifs.Add(2 * int64(len(states)))
+	out, err := resilience.CompareSchemes(s.sweeper(), wSTR, wH, wL, states)
+	if err != nil {
+		s.sw = nil
+	}
+	return out, err
+}

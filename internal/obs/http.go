@@ -15,10 +15,8 @@ import (
 // This is the engine-state/telemetry split the dtrd daemon will grow from:
 // the serving side never touches engine internals, only the registry.
 type Server struct {
-	lis      net.Listener
-	srv      *http.Server
-	registry *Registry
-	manifest *Manifest
+	lis net.Listener
+	srv *http.Server
 }
 
 // Serve starts the telemetry server on addr (e.g. ":9090", "127.0.0.1:0").
@@ -31,17 +29,9 @@ func Serve(addr string, r *Registry, m *Manifest) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
-	s := &Server{lis: lis, registry: r, manifest: m}
+	s := &Server{lis: lis}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/metrics.json", s.handleSnapshot)
-	mux.HandleFunc("/manifest.json", s.handleManifest)
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	Mount(mux, r, m)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(lis) //nolint:errcheck // Serve always returns on Close
 	return s, nil
@@ -53,26 +43,40 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 // Close shuts the server down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.registry.WritePrometheus(w) //nolint:errcheck // client gone mid-write
-}
-
-func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	s.registry.WriteJSON(w, s.manifest) //nolint:errcheck
-}
-
-func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
-	if s.manifest == nil {
-		http.Error(w, "no manifest attached", http.StatusNotFound)
-		return
+// Mount installs the standard telemetry surface — /metrics, /metrics.json,
+// /manifest.json, /debug/pprof/* and /debug/vars — on an existing mux, so
+// servers with their own API namespace (the dtrd daemon) expose the exact
+// surface the standalone Server does. The registry defaults to Default()
+// when nil; the manifest may be nil.
+func Mount(mux *http.ServeMux, r *Registry, m *Manifest) {
+	if r == nil {
+		r = Default()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	line, err := s.manifest.JSONLine()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Write(line) //nolint:errcheck
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // client gone mid-write
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w, m) //nolint:errcheck
+	})
+	mux.HandleFunc("/manifest.json", func(w http.ResponseWriter, _ *http.Request) {
+		if m == nil {
+			http.Error(w, "no manifest attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		line, err := m.JSONLine()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(line) //nolint:errcheck
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

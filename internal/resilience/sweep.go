@@ -53,6 +53,16 @@ type Sweeper struct {
 // NewSweeper builds a sweeper over e's problem instance. The evaluator is
 // cloned, so e's own routing plans are never disturbed.
 func NewSweeper(e *eval.Evaluator, opts Options) *Sweeper {
+	return NewSweeperFrom(e.Clone(), opts)
+}
+
+// NewSweeperFrom builds a sweeper that drives e directly instead of cloning
+// it — the handle-friendly constructor for pooled engine sessions that
+// already own a private evaluator clone and want one per-session sweeper
+// without a second copy of the routing plans. The caller must not use e
+// concurrently with the sweeper (full/verify sweeps route on it), and must
+// accept that those modes leave e's plans at the last swept state.
+func NewSweeperFrom(e *eval.Evaluator, opts Options) *Sweeper {
 	g := e.Graph()
 	th, tl := e.Matrices()
 	s := &Sweeper{
@@ -60,11 +70,11 @@ func NewSweeper(e *eval.Evaluator, opts Options) *Sweeper {
 		th:       th,
 		tl:       tl,
 		capacity: g.CSR().Capacity,
-		e:        e.Clone(),
+		e:        e,
 		opts:     opts,
 	}
-	// The sweeper's evaluator is a private clone driven sequentially, so it
-	// can keep the parallel full-route enabled for its lifetime (0 = auto).
+	// The sweeper's evaluator is driven sequentially, so it can keep the
+	// parallel full-route enabled for its lifetime (0 = auto).
 	if opts.RouteWorkers != 1 {
 		s.e.SetRouteWorkers(opts.RouteWorkers)
 	}

@@ -529,6 +529,23 @@ func (r *DeltaRouter) saveDest(di int) {
 	}
 }
 
+// CheckpointArmed reports whether a Checkpoint is armed — captured and not
+// yet consumed by Revert or invalidated by a full Route. Session pools use
+// this to detect a leaked Checkpoint (armed at release time), which would
+// otherwise silently poison the next reuse of the router: the stale
+// pre-images would roll a future what-if back to a routing the new user
+// never established.
+func (r *DeltaRouter) CheckpointArmed() bool { return r.cpActive }
+
+// Reset discards all routed state and disarms any checkpoint: the next
+// Apply (or Route) recomputes everything from scratch. This is the recovery
+// path for pooled routers whose incremental state can no longer be trusted —
+// after a leaked checkpoint, or between logically unrelated leases.
+func (r *DeltaRouter) Reset() {
+	r.valid = false
+	r.cpActive = false
+}
+
 // Revert restores the routed state captured by the armed checkpoint —
 // trees, per-destination loads, supports, aggregate loads, and weights —
 // and revalidates the router (recovering even from an error that

@@ -2,15 +2,18 @@
 # CLI smoke test: build every command and drive its primary paths — every
 # registered topology family through topogen, the bundled campaign examples
 # through dtrscen validate, a 1-trial preset run, dtropt on an imported
-# graph, a dtrfail sweep, a dtrchurn generate/replay/compare cycle, and the
-# benchgate self-comparison — so no command, preset or generator family can
-# rot unnoticed. CI runs this as the cli-smoke job; it is equally runnable
+# graph, a dtrfail sweep, a dtrchurn generate/replay/compare cycle, a dtrd
+# serve/load/route/whatif/search/drain round-trip, and the benchgate
+# self-comparison — so no command, preset or generator family can rot
+# unnoticed. CI runs this as the cli-smoke job; it is equally runnable
 # locally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bin="$(mktemp -d)"
-trap 'rm -rf "$bin"' EXIT
+# On exit, also reap any backgrounded server still running: a failed check
+# would otherwise orphan it holding our stdout pipe open.
+trap 'kill "${scen_pid:-}" "${dtrd_pid:-}" 2>/dev/null || :; rm -rf "$bin"' EXIT
 
 echo "== build all commands"
 go build -o "$bin" ./cmd/...
@@ -134,7 +137,48 @@ echo "== dtrchurn: instant-vs-convergence comparison on a generated timeline"
 grep -q 'transient' "$bin/churn-compare.out" || {
   echo "FAIL: dtrchurn compare printed no transient row"; exit 1; }
 
+echo "== dtrd: boot the daemon, load a topology, route/whatif/search, drain"
+"$bin/dtrd" -addr 127.0.0.1:0 2>"$bin/dtrd.stderr" &
+dtrd_pid=$!
+base_url=""
+for _ in $(seq 1 100); do
+  base_url="$(sed -n 's#^dtrd: listening on \(http://[^ ]*\)$#\1#p' "$bin/dtrd.stderr" | head -1)"
+  [ -n "$base_url" ] && break
+  kill -0 "$dtrd_pid" 2>/dev/null || { cat "$bin/dtrd.stderr"; echo "FAIL: dtrd exited before announcing its address"; exit 1; }
+  sleep 0.1
+done
+[ -n "$base_url" ] || { cat "$bin/dtrd.stderr"; echo "FAIL: dtrd address never announced"; exit 1; }
+
+curl -sf -d @examples/dtrd/load.json "$base_url/v1/topologies" | grep -q '"id": "t1"' || {
+  echo "FAIL: dtrd load did not create topology t1"; exit 1; }
+curl -sf -d @examples/dtrd/route.json "$base_url/v1/topologies/t1/route" | grep -q '"phi_l"' || {
+  echo "FAIL: dtrd route returned no costs"; exit 1; }
+curl -sf -d @examples/dtrd/whatif.json "$base_url/v1/topologies/t1/whatif" | grep -q '"survivors"' || {
+  echo "FAIL: dtrd whatif returned no sweep summary"; exit 1; }
+curl -sf -d @examples/dtrd/search.json "$base_url/v1/topologies/t1/search" | grep -q '"id": "j1"' || {
+  echo "FAIL: dtrd search did not start job j1"; exit 1; }
+job=""
+for _ in $(seq 1 300); do
+  job="$(curl -sf "$base_url/v1/jobs/j1")"
+  echo "$job" | grep -q '"status": "running"' || break
+  sleep 0.1
+done
+echo "$job" | grep -q '"status": "done"' || {
+  echo "$job"; echo "FAIL: dtrd search job did not finish"; exit 1; }
+echo "$job" | grep -q '"dtr_low_weights"' || {
+  echo "FAIL: dtrd search result carries no DTR weights"; exit 1; }
+# Capture the (large) exposition before grepping: `curl | grep -q` under
+# pipefail fails spuriously when grep exits on an early match and curl
+# takes the resulting EPIPE.
+dtrd_scrape="$(curl -sf "$base_url/metrics")"
+echo "$dtrd_scrape" | grep -q '^# TYPE dtrd_request_seconds histogram$' || {
+  echo "FAIL: dtrd /metrics missing the request latency histogram"; exit 1; }
+kill -TERM "$dtrd_pid"
+wait "$dtrd_pid" || { cat "$bin/dtrd.stderr"; echo "FAIL: dtrd exited non-zero on SIGTERM"; exit 1; }
+grep -q '^dtrd: stopped$' "$bin/dtrd.stderr" || {
+  cat "$bin/dtrd.stderr"; echo "FAIL: dtrd did not drain to 'stopped'"; exit 1; }
+
 echo "== benchgate: committed baseline gates against itself"
-"$bin/benchgate" -baseline BENCH_PR9.json -current BENCH_PR9.json >/dev/null
+"$bin/benchgate" -baseline BENCH_PR10.json -current BENCH_PR10.json >/dev/null
 
 echo "ok: CLI smoke passed"
